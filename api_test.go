@@ -1,0 +1,143 @@
+package racefuzzer_test
+
+import (
+	"testing"
+
+	"racefuzzer"
+	"racefuzzer/internal/conc"
+)
+
+// These tests exercise the package through its public facade only — the way
+// a downstream user would drive it.
+
+// racyProgram has one real race (on data) and one flag-protected false
+// alarm (on config), written purely against the public API + conc.
+func racyProgram() racefuzzer.Program {
+	return func(t *racefuzzer.Thread) {
+		data := conc.NewVar(t, "data", 0)
+		config := conc.NewVar(t, "config", 0)
+		ready := conc.NewVar(t, "ready", false)
+		l := conc.NewMutex(t, "L")
+
+		writer := t.Fork("writer", func(c *racefuzzer.Thread) {
+			config.Set(c, 7)
+			l.Lock(c)
+			ready.Set(c, true)
+			l.Unlock(c)
+			data.Set(c, 1) // real race with the reader
+		})
+		reader := t.Fork("reader", func(c *racefuzzer.Thread) {
+			_ = data.Get(c) // real race
+			l.Lock(c)
+			ok := ready.Get(c)
+			l.Unlock(c)
+			if ok {
+				_ = config.Get(c) // false alarm: ordered by the flag
+			}
+		})
+		t.Join(writer)
+		t.Join(reader)
+	}
+}
+
+func TestPublicAnalyze(t *testing.T) {
+	rep := racefuzzer.Analyze(racyProgram(), racefuzzer.Options{
+		Seed: 99, Phase1Trials: 8, Phase2Trials: 50,
+	})
+	if len(rep.Potential) < 2 {
+		t.Fatalf("potential = %v", rep.Potential)
+	}
+	if rep.RealCount() != 1 {
+		t.Fatalf("real = %d, want exactly 1:\n%v", rep.RealCount(), rep.Pairs)
+	}
+	if rep.MeanProbability() < 0.9 {
+		t.Fatalf("probability = %.2f", rep.MeanProbability())
+	}
+}
+
+func TestPublicDetectThenFuzz(t *testing.T) {
+	o := racefuzzer.Options{Seed: 3, Phase1Trials: 8, Phase2Trials: 40}
+	pairs := racefuzzer.DetectPotentialRaces(racyProgram(), o)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	realSeen := false
+	for i, p := range pairs {
+		pr := racefuzzer.FuzzPair(racyProgram(), p, i, o)
+		if pr.IsReal {
+			realSeen = true
+			run := racefuzzer.Replay(racyProgram(), p, pr.FirstRaceSeed, o)
+			if !run.RaceCreated {
+				t.Fatalf("replay lost the race for %v", p)
+			}
+			if len(run.Races) == 0 || run.Races[0].LocName == "" {
+				t.Fatalf("race record incomplete: %+v", run.Races)
+			}
+		}
+	}
+	if !realSeen {
+		t.Fatal("no pair confirmed")
+	}
+}
+
+func TestPublicExplicitStatementLabels(t *testing.T) {
+	w := racefuzzer.StmtFor("api:w")
+	r := racefuzzer.StmtFor("api:r")
+	prog := func(mt *racefuzzer.Thread) {
+		v := conc.NewVar(mt, "x", 0)
+		t1 := mt.Fork("w", func(c *racefuzzer.Thread) { v.SetAt(c, w, 1) })
+		t2 := mt.Fork("r", func(c *racefuzzer.Thread) { _ = v.GetAt(c, r) })
+		mt.Join(t1)
+		mt.Join(t2)
+	}
+	pair := racefuzzer.MakeStmtPair(w, r)
+	pr := racefuzzer.FuzzPair(prog, pair, 0, racefuzzer.Options{Seed: 2, Phase2Trials: 30})
+	if !pr.IsReal || pr.Probability < 0.99 {
+		t.Fatalf("explicit-label pair not confirmed: %v", pr)
+	}
+}
+
+func TestPublicDeadlockPipeline(t *testing.T) {
+	prog := func(mt *racefuzzer.Thread) {
+		l1 := conc.NewMutex(mt, "A")
+		l2 := conc.NewMutex(mt, "B")
+		a := mt.Fork("a", func(c *racefuzzer.Thread) {
+			l1.Lock(c)
+			l2.Lock(c)
+			l2.Unlock(c)
+			l1.Unlock(c)
+		})
+		b := mt.Fork("b", func(c *racefuzzer.Thread) {
+			l2.Lock(c)
+			l1.Lock(c)
+			l1.Unlock(c)
+			l2.Unlock(c)
+		})
+		mt.Join(a)
+		mt.Join(b)
+	}
+	reps := racefuzzer.AnalyzeDeadlocks(prog, racefuzzer.Options{Seed: 4, Phase1Trials: 6, Phase2Trials: 20})
+	if len(reps) != 1 || !reps[0].IsReal {
+		t.Fatalf("deadlock reports = %v", reps)
+	}
+}
+
+func TestPublicAtomicityPipeline(t *testing.T) {
+	prog := func(mt *racefuzzer.Thread) {
+		counter := conc.NewIntVar(mt, "counter", 0)
+		a := mt.Fork("a", func(c *racefuzzer.Thread) { counter.Add(c, 1) })
+		b := mt.Fork("b", func(c *racefuzzer.Thread) { counter.Add(c, 1) })
+		mt.Join(a)
+		mt.Join(b)
+	}
+	reps := racefuzzer.AnalyzeAtomicity(prog, racefuzzer.Options{Seed: 6, Phase1Trials: 6, Phase2Trials: 25})
+	real := 0
+	for _, r := range reps {
+		if r.IsReal {
+			real++
+		}
+	}
+	if real == 0 {
+		t.Fatalf("counter++ violation not confirmed: %v", reps)
+	}
+}

@@ -1,0 +1,69 @@
+// Command benchtable regenerates the paper's evaluation artifacts on this
+// machine's models:
+//
+//	benchtable                      # full Table 1 (all benchmarks)
+//	benchtable -names figure1,sor   # selected rows
+//	benchtable -sweep               # the Figure-2 probability sweep (§3.2)
+//	benchtable -trials 100 -seed 7
+//
+// Output: the measured table, the paper's original numbers for side-by-side
+// comparison, and (with -sweep) the probability-vs-prefix-length experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"racefuzzer/internal/harness"
+)
+
+func main() {
+	var (
+		names  = flag.String("names", "", "comma-separated benchmark names (default: all)")
+		seed   = flag.Int64("seed", 12345, "base seed")
+		trials = flag.Int("trials", 100, "RaceFuzzer runs per potential pair")
+		timing = flag.Int("timing-runs", 5, "runs averaged per runtime column")
+		sweep  = flag.Bool("sweep", false, "also run the Figure-2 probability sweep")
+		only   = flag.Bool("sweep-only", false, "run only the Figure-2 sweep")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
+	)
+	flag.Parse()
+
+	if !*only {
+		var list []string
+		if *names != "" {
+			list = strings.Split(*names, ",")
+		}
+		rows := harness.RunTable1(list, harness.Options{
+			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timing,
+		})
+		if *csv {
+			fmt.Print(harness.CSVTable1(rows))
+		} else {
+			fmt.Println(harness.RenderTable1(rows))
+			fmt.Println(harness.RenderPaperTable(rows))
+		}
+		if *verify {
+			out, ok := harness.VerifyAll(rows)
+			fmt.Print(out)
+			if !ok {
+				os.Exit(1)
+			}
+		}
+	}
+	if *sweep || *only {
+		points := harness.Figure2Sweep([]int{5, 10, 25, 50, 100, 250, 500}, *trials, *seed)
+		if *csv {
+			fmt.Print(harness.CSVFigure2(points))
+		} else {
+			fmt.Println(harness.RenderFigure2(points))
+		}
+		noise := harness.NoiseSweep([]int{0, 2, 4, 8}, *trials, *seed)
+		if !*csv {
+			fmt.Println(harness.RenderNoise(noise))
+		}
+	}
+}

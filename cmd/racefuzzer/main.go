@@ -1,0 +1,152 @@
+// Command racefuzzer runs race-directed random testing on one of the
+// built-in benchmark models:
+//
+//	racefuzzer -list
+//	racefuzzer -bench figure1                 # full two-phase analysis
+//	racefuzzer -bench cache4j -trials 200     # more fuzzing per pair
+//	racefuzzer -bench figure2 -pair 0 -replay 12345 -trace
+//
+// The tool prints phase-1's potential races, then each pair's verdict:
+// whether RaceFuzzer confirmed it real, the race-creation probability, and
+// any exceptions exposed by random race resolution. Replays are exact: the
+// seed fully determines the schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/core"
+	"racefuzzer/internal/sched"
+	"racefuzzer/internal/trace"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		name    = flag.String("bench", "", "benchmark to analyze (see -list)")
+		seed    = flag.Int64("seed", 1, "base seed for the campaign")
+		trials  = flag.Int("trials", 100, "RaceFuzzer runs per potential pair")
+		phase1  = flag.Int("phase1", 0, "phase-1 observations (0 = benchmark default)")
+		pairIdx = flag.Int("pair", -1, "fuzz only the potential pair with this index")
+		replay  = flag.Int64("replay", 0, "replay one run of -pair with this exact seed")
+		dump    = flag.Bool("trace", false, "with -replay: dump the replayed event trace")
+		dlMode  = flag.Bool("deadlocks", false, "run the deadlock-directed pipeline instead of races")
+		atMode  = flag.Bool("atomicity", false, "run the atomicity-directed pipeline instead of races")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-12s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "racefuzzer: -bench is required (try -list)")
+		os.Exit(2)
+	}
+	b, ok := bench.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "racefuzzer: unknown benchmark %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	opts := core.Options{
+		Seed:         *seed,
+		Phase1Trials: *phase1,
+		Phase2Trials: *trials,
+		MaxSteps:     b.MaxSteps,
+	}
+	if opts.Phase1Trials == 0 {
+		opts.Phase1Trials = b.Phase1Trials
+	}
+
+	fmt.Printf("== %s: %s\n", b.Name, b.Description)
+	if *dlMode {
+		reps := core.AnalyzeDeadlocks(b.New(), opts)
+		fmt.Printf("deadlock pipeline: %d potential lock cycle(s)\n", len(reps))
+		for _, r := range reps {
+			fmt.Printf("  %v\n", r)
+		}
+		return
+	}
+	if *atMode {
+		reps := core.AnalyzeAtomicity(b.New(), opts)
+		fmt.Printf("atomicity pipeline: %d inferred block(s)\n", len(reps))
+		for _, r := range reps {
+			fmt.Printf("  %v\n", r)
+		}
+		return
+	}
+	pairs := core.DetectPotentialRaces(b.New(), opts)
+	fmt.Printf("phase 1 (hybrid detection, %d observations): %d potential racing pair(s)\n",
+		max(opts.Phase1Trials, 3), len(pairs))
+	for i, p := range pairs {
+		fmt.Printf("  [%d] %v\n", i, p)
+	}
+	if len(pairs) == 0 {
+		return
+	}
+
+	if *replay != 0 {
+		if *pairIdx < 0 || *pairIdx >= len(pairs) {
+			fmt.Fprintln(os.Stderr, "racefuzzer: -replay needs a valid -pair index")
+			os.Exit(2)
+		}
+		pair := pairs[*pairIdx]
+		fmt.Printf("\nreplaying pair %v with seed %d\n", pair, *replay)
+		var rec *trace.Recorder
+		observers := []sched.Observer{}
+		if *dump {
+			rec = trace.New(200)
+			observers = append(observers, rec)
+		}
+		pol := core.NewRaceFuzzerPolicy(pair)
+		res := sched.Run(b.New(), sched.Config{
+			Seed: *replay, Policy: pol, MaxSteps: b.MaxSteps, Observers: observers,
+		})
+		for _, rr := range pol.Races() {
+			fmt.Printf("  %v\n", rr)
+		}
+		for _, ex := range res.Exceptions {
+			fmt.Printf("  exception: %v\n", ex)
+		}
+		if res.Deadlock != nil {
+			fmt.Printf("  %v\n", res.Deadlock)
+		}
+		if rec != nil {
+			fmt.Println("\nevent trace (most recent 200):")
+			fmt.Print(rec.Dump())
+		}
+		return
+	}
+
+	fmt.Printf("\nphase 2 (RaceFuzzer, %d runs per pair):\n", opts.Phase2Trials)
+	realCount, excCount := 0, 0
+	for i, pair := range pairs {
+		if *pairIdx >= 0 && i != *pairIdx {
+			continue
+		}
+		rep := core.FuzzPair(b.New(), pair, i, opts)
+		fmt.Printf("  [%d] %v\n", i, rep)
+		if rep.IsReal {
+			realCount++
+			fmt.Printf("      replay a race-creating run with: -pair %d -replay %d\n", i, rep.FirstRaceSeed)
+			if rep.ExceptionRuns > 0 {
+				excCount++
+				fmt.Printf("      replay an exception-throwing run with: -pair %d -replay %d\n", i, rep.FirstExceptionSeed)
+			}
+		}
+	}
+	fmt.Printf("\nsummary: %d potential, %d real, %d with exceptions (paper row: %d potential, %d real)\n",
+		len(pairs), realCount, excCount, b.Paper.HybridRaces, b.Paper.RealRaces)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

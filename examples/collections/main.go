@@ -1,0 +1,71 @@
+// Collections example: reproduce the paper's §5.3 JDK bug — calling
+// l1.containsAll(l2) and l2.removeAll(...) concurrently on
+// Collections.synchronizedList wrappers throws
+// ConcurrentModificationException / NoSuchElementException, because the
+// inherited AbstractCollection.containsAll iterates its argument without the
+// argument's lock.
+//
+//	go run ./examples/collections
+//
+// The example finds the racing statement pairs in the (model) library code,
+// confirms them with RaceFuzzer, shows the exceptions, and demonstrates
+// seed-exact replay of a crashing schedule.
+package main
+
+import (
+	"fmt"
+
+	"racefuzzer"
+	"racefuzzer/internal/collections"
+)
+
+// driver is the paper's test-driver recipe: two synchronized lists, one
+// thread calling containsAll, another removing through the wrapper lock.
+func driver() racefuzzer.Program {
+	return func(t *racefuzzer.Thread) {
+		l1 := collections.NewSynchronizedList(t, "l1", collections.NewLinkedList(t, "raw1"))
+		l2 := collections.NewSynchronizedList(t, "l2", collections.NewLinkedList(t, "raw2"))
+		toRemove := collections.NewArrayList(t, "toRemove")
+		for i := 0; i < 4; i++ {
+			l1.Add(t, i)
+			l2.Add(t, i)
+			toRemove.Add(t, i)
+		}
+		a := t.Fork("containsAll", func(c *racefuzzer.Thread) {
+			l1.ContainsAll(c, l2) // iterates l2 holding only l1's mutex
+		})
+		b := t.Fork("removeAll", func(c *racefuzzer.Thread) {
+			l2.RemoveAll(c, toRemove) // mutates l2 under l2's mutex
+		})
+		t.Join(a)
+		t.Join(b)
+	}
+}
+
+func main() {
+	opts := racefuzzer.Options{Seed: 7, Phase1Trials: 8, Phase2Trials: 100}
+	report := racefuzzer.Analyze(driver(), opts)
+
+	fmt.Printf("potential racing pairs in the collections library: %d\n", len(report.Potential))
+	for _, pr := range report.Pairs {
+		fmt.Printf("  %v\n", pr)
+	}
+	fmt.Printf("\nreal: %d, with exceptions: %d\n", report.RealCount(), report.ExceptionPairCount())
+
+	for _, pr := range report.Pairs {
+		if pr.FirstExceptionSeed == 0 {
+			continue
+		}
+		run := racefuzzer.Replay(driver(), pr.Pair, pr.FirstExceptionSeed, racefuzzer.Options{})
+		fmt.Printf("\nreplayed crashing schedule (pair %v, seed %d):\n", pr.Pair, pr.FirstExceptionSeed)
+		for _, rr := range run.Races {
+			fmt.Printf("  race created: %v\n", rr)
+		}
+		for _, ex := range run.Result.Exceptions {
+			fmt.Printf("  thread %s(%s) crashed: %v\n", ex.Thread, ex.Name, ex.Err)
+		}
+		break
+	}
+	fmt.Println("\n(The containsAll code path works fine single-threaded — the synchronized")
+	fmt.Println("wrapper just never overrode it to hold the argument's lock, exactly as §5.3 describes.)")
+}

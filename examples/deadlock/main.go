@@ -1,0 +1,83 @@
+// Deadlock example: the generalized active-testing pipeline (§1 of the
+// paper) applied to deadlocks instead of races — predict potential lock
+// cycles from the lock-order graph, then direct the scheduler to complete
+// each cycle.
+//
+//	go run ./examples/deadlock
+//
+// The model is the classic bank-transfer bug: transfer(a→b) locks a then b,
+// so two opposite transfers can deadlock; a third "audited" transfer path
+// takes a global gate lock first, which the analysis correctly rules out as
+// a cycle participant.
+package main
+
+import (
+	"fmt"
+
+	"racefuzzer"
+	"racefuzzer/internal/conc"
+	"racefuzzer/internal/sched"
+)
+
+func bank() racefuzzer.Program {
+	return func(t *racefuzzer.Thread) {
+		balA := conc.NewIntVar(t, "balance.A", 100)
+		balB := conc.NewIntVar(t, "balance.B", 100)
+		lockA := conc.NewMutex(t, "account.A")
+		lockB := conc.NewMutex(t, "account.B")
+		gate := conc.NewMutex(t, "auditGate")
+
+		transfer := func(c *racefuzzer.Thread, from, to *conc.Mutex, fb, tb *conc.IntVar, amt int) {
+			from.Lock(c)
+			to.Lock(c) // ← acquires in argument order: the bug
+			fb.Add(c, -amt)
+			tb.Add(c, amt)
+			to.Unlock(c)
+			from.Unlock(c)
+		}
+
+		t1 := t.Fork("transfer A→B", func(c *racefuzzer.Thread) {
+			transfer(c, lockA, lockB, balA, balB, 10)
+		})
+		t2 := t.Fork("transfer B→A", func(c *racefuzzer.Thread) {
+			transfer(c, lockB, lockA, balB, balA, 20)
+		})
+		t3 := t.Fork("audited transfer", func(c *racefuzzer.Thread) {
+			gate.Lock(c) // audited path serializes through the gate
+			transfer(c, lockA, lockB, balA, balB, 5)
+			gate.Unlock(c)
+		})
+		t.Join(t1)
+		t.Join(t2)
+		t.Join(t3)
+	}
+}
+
+func main() {
+	opts := racefuzzer.Options{Seed: 11, Phase1Trials: 8, Phase2Trials: 100}
+
+	fmt.Println("phase 1: lock-order-graph analysis over random executions")
+	reps := racefuzzer.AnalyzeDeadlocks(bank(), opts)
+	for _, r := range reps {
+		fmt.Printf("  %v\n", r)
+	}
+	if len(reps) == 0 {
+		fmt.Println("  (no potential cycles)")
+		return
+	}
+
+	// Contrast with undirected testing: how often does plain random
+	// scheduling stumble into the deadlock?
+	hits := 0
+	const trials = 100
+	for i := int64(0); i < trials; i++ {
+		res := sched.Run(bank(), sched.Config{Seed: 5000 + i})
+		if res.Deadlock != nil {
+			hits++
+		}
+	}
+	fmt.Printf("\nundirected random testing deadlocked in %d/%d runs;\n", hits, trials)
+	fmt.Printf("the deadlock-directed scheduler confirmed the cycle with p=%.2f.\n", reps[0].Probability)
+	fmt.Println("\n(The audited path never participates: its gate lock makes the A/B")
+	fmt.Println("nesting cycle-safe, and the analysis' gate rule knows it.)")
+}

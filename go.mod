@@ -1,0 +1,3 @@
+module racefuzzer
+
+go 1.22

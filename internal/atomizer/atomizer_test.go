@@ -1,0 +1,132 @@
+package atomizer
+
+import (
+	"testing"
+
+	"racefuzzer/internal/event"
+)
+
+func mem(t event.ThreadID, stmt string, loc event.MemLoc, w bool, locks ...event.LockID) event.Event {
+	a := event.Read
+	if w {
+		a = event.Write
+	}
+	return event.Event{Kind: event.KindMem, Thread: t, Stmt: event.StmtFor(stmt), Loc: loc, Access: a, Locks: locks}
+}
+
+func unlock(t event.ThreadID, l event.LockID) event.Event {
+	return event.Event{Kind: event.KindUnlock, Thread: t, Lock: l}
+}
+
+func run(events ...event.Event) *Detector {
+	d := New()
+	for _, e := range events {
+		d.OnEvent(e)
+	}
+	return d
+}
+
+func TestUnprotectedRMWIsACandidate(t *testing.T) {
+	d := run(
+		mem(0, "at:read", 1, false),
+		mem(0, "at:write", 1, true),
+		mem(1, "at:other-write", 1, true),
+	)
+	cs := d.Candidates()
+	if len(cs) != 1 {
+		t.Fatalf("candidates = %v", cs)
+	}
+	c := cs[0]
+	if c.First != event.StmtFor("at:read") || c.Second != event.StmtFor("at:write") {
+		t.Fatalf("block = %v", c)
+	}
+	if len(c.Interferers) == 0 {
+		t.Fatalf("no interferers: %v", c)
+	}
+}
+
+func TestLockProtectedRMWNotACandidate(t *testing.T) {
+	// Both the block and the other writer hold lock 5: serialized, no
+	// violation possible.
+	d := run(
+		mem(0, "at:lread", 1, false, 5),
+		mem(0, "at:lwrite", 1, true, 5),
+		mem(1, "at:lother", 1, true, 5),
+	)
+	if cs := d.Candidates(); len(cs) != 0 {
+		t.Fatalf("lock-protected block reported: %v", cs)
+	}
+}
+
+func TestDisjointlyLockedWriterInterferes(t *testing.T) {
+	// Block under lock 5, writer under lock 6: disjoint — candidate.
+	d := run(
+		mem(0, "at:dread", 1, false, 5),
+		mem(0, "at:dwrite", 1, true, 5),
+		mem(1, "at:dother", 1, true, 6),
+	)
+	if cs := d.Candidates(); len(cs) != 1 {
+		t.Fatalf("candidates = %v", cs)
+	}
+}
+
+func TestUnlockEndsTheBlock(t *testing.T) {
+	// read, unlock, write: the RMW spans a release — not treated as one
+	// intended-atomic block.
+	d := run(
+		mem(0, "at:uread", 1, false, 5),
+		unlock(0, 5),
+		mem(0, "at:uwrite", 1, true),
+		mem(1, "at:uother", 1, true),
+	)
+	for _, c := range d.Candidates() {
+		if c.First == event.StmtFor("at:uread") {
+			t.Fatalf("block survived an unlock: %v", c)
+		}
+	}
+}
+
+func TestSameStmtTwoThreadsSelfInterference(t *testing.T) {
+	// The classic counter++ executed by two threads: the block's own write
+	// statement is an interferer because another thread executes it too.
+	d := run(
+		mem(0, "at:cr", 1, false),
+		mem(0, "at:cw", 1, true),
+		mem(1, "at:cr", 1, false),
+		mem(1, "at:cw", 1, true),
+	)
+	cs := d.Candidates()
+	if len(cs) != 1 {
+		t.Fatalf("candidates = %v", cs)
+	}
+	found := false
+	for _, s := range cs[0].Interferers {
+		if s == event.StmtFor("at:cw") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self-interference missed: %v", cs[0])
+	}
+}
+
+func TestSingleThreadNoInterferers(t *testing.T) {
+	d := run(
+		mem(0, "at:sr", 1, false),
+		mem(0, "at:sw", 1, true),
+	)
+	if cs := d.Candidates(); len(cs) != 0 {
+		t.Fatalf("single-thread block reported: %v", cs)
+	}
+}
+
+func TestDifferentLocationsIndependent(t *testing.T) {
+	d := run(
+		mem(0, "at:xr", 1, false),
+		mem(0, "at:xw", 1, true),
+		mem(1, "at:yw", 2, true), // different location: no interference
+	)
+	if cs := d.Candidates(); len(cs) != 0 {
+		t.Fatalf("cross-location interference: %v", cs)
+	}
+}

@@ -1,0 +1,165 @@
+package bench_test
+
+import (
+	"testing"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/sched"
+)
+
+// These tests pin the *computational* behaviour of the kernel models: the
+// partitioned, barrier-ordered state must be identical across schedules
+// (that is what makes the accumulator races benign), while the racy
+// accumulators are permitted — not required — to vary.
+
+func runMoldyn(seed int64) bench.GrandeProbe {
+	var p bench.GrandeProbe
+	res := sched.Run(bench.Moldyn(3, 9, 2, &p), sched.Config{Seed: seed})
+	if res.Deadlock != nil || len(res.Exceptions) != 0 {
+		panic("moldyn run failed")
+	}
+	return p
+}
+
+func TestMoldynPartitionedStateScheduleIndependent(t *testing.T) {
+	base := runMoldyn(1)
+	if len(base.Pos) != 9 || len(base.Vel) != 9 {
+		t.Fatalf("probe sizes: %d/%d", len(base.Pos), len(base.Vel))
+	}
+	for seed := int64(2); seed < 12; seed++ {
+		p := runMoldyn(seed)
+		for i := range base.Pos {
+			if p.Pos[i] != base.Pos[i] || p.Vel[i] != base.Vel[i] {
+				t.Fatalf("seed %d: particle %d state differs (%d,%d) vs (%d,%d) — partitioning broken",
+					seed, i, p.Pos[i], p.Vel[i], base.Pos[i], base.Vel[i])
+			}
+		}
+	}
+}
+
+func TestMoldynParticlesStayBounded(t *testing.T) {
+	p := runMoldyn(7)
+	for i, x := range p.Pos {
+		if x < 0 || x > 10*1024 {
+			t.Fatalf("particle %d escaped: %d", i, x)
+		}
+	}
+	if p.Epot <= 0 {
+		t.Fatalf("epot = %d, expected positive potential energy", p.Epot)
+	}
+}
+
+func TestRaytracerPixelsScheduleIndependentAndScene(t *testing.T) {
+	run := func(seed int64) bench.GrandeProbe {
+		var p bench.GrandeProbe
+		sched.Run(bench.Raytracer(3, 8, 8, &p), sched.Config{Seed: seed})
+		return p
+	}
+	base := run(1)
+	if len(base.Pixels) != 64 {
+		t.Fatalf("pixels = %d", len(base.Pixels))
+	}
+	// The scene must actually render: both background and sphere pixels.
+	background, lit := 0, 0
+	for _, v := range base.Pixels {
+		if v == 16 {
+			background++
+		} else {
+			lit++
+		}
+	}
+	if background == 0 || lit == 0 {
+		t.Fatalf("degenerate render: background=%d lit=%d", background, lit)
+	}
+	for seed := int64(2); seed < 10; seed++ {
+		p := run(seed)
+		for i := range base.Pixels {
+			if p.Pixels[i] != base.Pixels[i] {
+				t.Fatalf("seed %d: pixel %d differs — row partitioning broken", seed, i)
+			}
+		}
+	}
+}
+
+func TestRaytracerChecksumUsuallyConsistentButRacy(t *testing.T) {
+	// The checksum equals the pixel sum when no lost update happened; under
+	// scheduling that interleaves the read-modify-write it may be lower.
+	// Across seeds it must never EXCEED the true sum.
+	var base bench.GrandeProbe
+	sched.Run(bench.Raytracer(3, 8, 8, &base), sched.Config{Seed: 1})
+	trueSum := 0
+	for _, v := range base.Pixels {
+		trueSum += v
+	}
+	matches := 0
+	for seed := int64(0); seed < 30; seed++ {
+		var p bench.GrandeProbe
+		sched.Run(bench.Raytracer(3, 8, 8, &p), sched.Config{Seed: seed})
+		if p.Checksum > trueSum {
+			t.Fatalf("seed %d: checksum %d exceeds true sum %d", seed, p.Checksum, trueSum)
+		}
+		if p.Checksum == trueSum {
+			matches++
+		}
+	}
+	if matches == 0 {
+		t.Fatal("checksum never correct across 30 seeds — more than a benign race")
+	}
+}
+
+func TestMontecarloResultsAndSumScheduleIndependent(t *testing.T) {
+	run := func(seed int64) bench.GrandeProbe {
+		var p bench.GrandeProbe
+		sched.Run(bench.Montecarlo(3, 9, &p), sched.Config{Seed: seed})
+		return p
+	}
+	base := run(1)
+	if len(base.Results) != 9 || base.Sum == 0 {
+		t.Fatalf("probe: %d results, sum %d", len(base.Results), base.Sum)
+	}
+	check := 0
+	for _, r := range base.Results {
+		if r < 1024 { // prices are floored at 1.0 in fixed point
+			t.Fatalf("price underflow: %d", r)
+		}
+		check += r
+	}
+	if check != base.Sum {
+		t.Fatalf("locked reduction %d != recomputed %d", base.Sum, check)
+	}
+	for seed := int64(2); seed < 10; seed++ {
+		p := run(seed)
+		if p.Sum != base.Sum {
+			t.Fatalf("seed %d: sum %d differs from %d — per-task determinism broken", seed, p.Sum, base.Sum)
+		}
+	}
+}
+
+func TestSorGridScheduleIndependent(t *testing.T) {
+	run := func(seed int64, pol sched.Policy) bench.GrandeProbe {
+		var p bench.GrandeProbe
+		res := sched.Run(bench.Sor(3, 8, 2, &p), sched.Config{Seed: seed, Policy: pol})
+		if res.Deadlock != nil {
+			t.Fatalf("sor deadlocked")
+		}
+		return p
+	}
+	base := run(1, nil)
+	if len(base.Grid) != 64 {
+		t.Fatalf("grid = %d", len(base.Grid))
+	}
+	// Same result under random, quantum and sequential scheduling: the
+	// red-black barrier discipline makes the computation deterministic —
+	// which is exactly why its hybrid warnings are all false positives.
+	policies := []sched.Policy{nil, sched.NewQuantumPolicy(4), sched.SequentialPolicy{}}
+	for seed := int64(2); seed < 8; seed++ {
+		for pi, pol := range policies {
+			p := run(seed, pol)
+			for i := range base.Grid {
+				if p.Grid[i] != base.Grid[i] {
+					t.Fatalf("seed %d policy %d: grid[%d] differs — SOR not race-free", seed, pi, i)
+				}
+			}
+		}
+	}
+}

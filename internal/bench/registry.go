@@ -1,0 +1,114 @@
+// Package bench contains Go models of every benchmark program in the
+// paper's evaluation (Table 1) plus the example programs of Figures 1 and 2.
+// Each model is a faithful skeleton of the original Java program's
+// concurrency structure — the thread/lock/shared-variable topology in which
+// the paper's races live — written against the conc API so every shared
+// access and synchronization operation is visible to the schedulers and
+// detectors. See DESIGN.md ("Substitutions") for why skeletons preserve the
+// behaviour under study.
+package bench
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/sched"
+)
+
+// Program is a model program (main-thread body).
+type Program = func(*sched.Thread)
+
+// PaperRow carries the original Table 1 numbers for one benchmark, used by
+// EXPERIMENTS.md comparisons. -1 encodes "-" (not reported).
+type PaperRow struct {
+	SLOC             int
+	NormalSec        float64 // average normal runtime (s); -1 if not reported
+	HybridSec        float64 // >3600 encoded as 3600
+	RaceFuzzerSec    float64
+	HybridRaces      int     // column 6: potential races from hybrid detection
+	RealRaces        int     // column 7: real races confirmed by RaceFuzzer
+	KnownRaces       int     // column 8: previously known real races; -1 = "-"
+	ExceptionPairs   int     // column 9: racing pairs that threw an exception
+	SimpleExceptions int     // column 10: exceptions under the default scheduler
+	Probability      float64 // column 11: probability of hitting a race; -1 = "-"
+}
+
+// Expect records what this repository's model is built to exhibit; tests
+// assert these (they are model ground truth, independent of the paper's
+// absolute counts).
+type Expect struct {
+	// MinReal and MaxReal bound the number of distinct real racing statement
+	// pairs RaceFuzzer must confirm in the model (MaxReal = -1: no upper
+	// bound asserted). For models built around designed races the two
+	// coincide; for library drivers the exact count is emergent.
+	MinReal int
+	MaxReal int
+	// MinPotential is a lower bound on hybrid-reported pairs (the model
+	// contains at least this many potential pairs including false alarms).
+	MinPotential int
+	// MinExceptionPairs is a lower bound on real pairs whose random
+	// resolution throws a model exception.
+	MinExceptionPairs int
+	// MaxExceptionPairs is an upper bound (-1 = not asserted); 0 asserts the
+	// model's races are all benign.
+	MaxExceptionPairs int
+	// MinProbability is a lower bound on the mean race-hit probability over
+	// real pairs; 0 when MinReal == 0.
+	MinProbability float64
+}
+
+// Benchmark is one registry entry.
+type Benchmark struct {
+	Name        string
+	Description string
+	Paper       PaperRow
+	Expect      Expect
+	// New returns a fresh program instance. Models close over no state, so
+	// the same Benchmark can run any number of executions.
+	New func() Program
+	// Phase1Trials overrides the default number of phase-1 observations for
+	// models whose rarer interleavings need a few more samples (0 = default).
+	Phase1Trials int
+	// MaxSteps overrides the per-run step bound (0 = default).
+	MaxSteps int
+}
+
+var registry []Benchmark
+
+func register(b Benchmark) {
+	registry = append(registry, b)
+}
+
+// All returns every registered benchmark in registration (Table 1) order.
+func All() []Benchmark {
+	out := make([]Benchmark, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName looks a benchmark up by name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns the registered benchmark names in order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, b := range registry {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// MustByName is ByName that panics on unknown names (CLI convenience).
+func MustByName(name string) Benchmark {
+	b, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("bench: unknown benchmark %q (have %v)", name, Names()))
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+package collections
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/conc"
+)
+
+// defaultCap is the fixed backing-array capacity of the array-based models.
+const defaultCap = 96
+
+// ArrayList models java.util.ArrayList (JDK 1.4.2): an unsynchronized,
+// array-backed list with a fail-fast iterator driven by modCount.
+type ArrayList struct {
+	name     string
+	data     *conc.Array[int]
+	size     *conc.IntVar
+	modCount *conc.IntVar
+}
+
+// NewArrayList allocates an empty ArrayList.
+func NewArrayList(t *conc.Thread, name string) *ArrayList {
+	return &ArrayList{
+		name:     name,
+		data:     conc.NewArray[int](t, name+".elementData", defaultCap),
+		size:     conc.NewIntVar(t, name+".size", 0),
+		modCount: conc.NewIntVar(t, name+".modCount", 0),
+	}
+}
+
+// Add appends v (always returns true, like java.util.List).
+func (l *ArrayList) Add(t *conc.Thread, v int) bool {
+	l.modCount.Add(t, 1) // ensureCapacity bumps modCount first in the JDK
+	n := l.size.Get(t)
+	if n >= l.data.Len() {
+		t.Throw(fmt.Errorf("%w: %s", ErrCapacityExceeded, l.name))
+	}
+	l.data.Set(t, n, v)
+	l.size.Set(t, n+1)
+	return true
+}
+
+// Get returns the element at index i.
+func (l *ArrayList) Get(t *conc.Thread, i int) int {
+	n := l.size.Get(t)
+	if i < 0 || i >= n {
+		t.Throw(fmt.Errorf("%w: index %d, size %d", ErrIndexOutOfBounds, i, n))
+	}
+	return l.data.Get(t, i)
+}
+
+// indexOf scans for v, returning -1 when absent.
+func (l *ArrayList) indexOf(t *conc.Thread, v int) int {
+	n := l.size.Get(t)
+	for i := 0; i < n; i++ {
+		if l.data.Get(t, i) == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports membership.
+func (l *ArrayList) Contains(t *conc.Thread, v int) bool { return l.indexOf(t, v) >= 0 }
+
+// RemoveAt deletes the element at index i, shifting the tail left.
+func (l *ArrayList) RemoveAt(t *conc.Thread, i int) int {
+	n := l.size.Get(t)
+	if i < 0 || i >= n {
+		t.Throw(fmt.Errorf("%w: index %d, size %d", ErrIndexOutOfBounds, i, n))
+	}
+	l.modCount.Add(t, 1)
+	old := l.data.Get(t, i)
+	for j := i; j < n-1; j++ {
+		l.data.Set(t, j, l.data.Get(t, j+1))
+	}
+	l.size.Set(t, n-1)
+	return old
+}
+
+// Remove deletes one occurrence of v.
+func (l *ArrayList) Remove(t *conc.Thread, v int) bool {
+	i := l.indexOf(t, v)
+	if i < 0 {
+		return false
+	}
+	l.RemoveAt(t, i)
+	return true
+}
+
+// Size returns the element count.
+func (l *ArrayList) Size(t *conc.Thread) int { return l.size.Get(t) }
+
+// Clear removes every element.
+func (l *ArrayList) Clear(t *conc.Thread) {
+	l.modCount.Add(t, 1)
+	l.size.Set(t, 0)
+}
+
+// Iterator returns a fail-fast iterator (java.util.AbstractList.Itr).
+func (l *ArrayList) Iterator(t *conc.Thread) Iterator {
+	return &arrayListIter{list: l, expected: l.modCount.Get(t), lastRet: -1}
+}
+
+// ContainsAll, AddAll, RemoveAll, Equals inherit the AbstractCollection /
+// AbstractList implementations — thread-unsafe iterator use included.
+
+// ContainsAll reports whether every element of c is in l.
+func (l *ArrayList) ContainsAll(t *conc.Thread, c Collection) bool {
+	return AbstractContainsAll(t, l, c)
+}
+
+// AddAll appends every element of c.
+func (l *ArrayList) AddAll(t *conc.Thread, c Collection) bool { return AbstractAddAll(t, l, c) }
+
+// RemoveAll removes every element of c from l.
+func (l *ArrayList) RemoveAll(t *conc.Thread, c Collection) bool { return AbstractRemoveAll(t, l, c) }
+
+// Equals is AbstractList.equals: pairwise comparison.
+func (l *ArrayList) Equals(t *conc.Thread, c List) bool { return AbstractListEquals(t, l, c) }
+
+// arrayListIter is the fail-fast iterator.
+type arrayListIter struct {
+	list     *ArrayList
+	cursor   int
+	lastRet  int
+	expected int
+}
+
+func (it *arrayListIter) checkComod(t *conc.Thread) {
+	if it.list.modCount.Get(t) != it.expected {
+		throwCME(t, it.list.name)
+	}
+}
+
+// HasNext implements Iterator.
+func (it *arrayListIter) HasNext(t *conc.Thread) bool {
+	return it.cursor < it.list.size.Get(t)
+}
+
+// Next implements Iterator.
+func (it *arrayListIter) Next(t *conc.Thread) int {
+	it.checkComod(t)
+	n := it.list.size.Get(t)
+	if it.cursor >= n {
+		throwNSE(t, it.list.name)
+	}
+	v := it.list.data.Get(t, it.cursor)
+	it.lastRet = it.cursor
+	it.cursor++
+	return v
+}
+
+// Remove implements Iterator.
+func (it *arrayListIter) Remove(t *conc.Thread) {
+	if it.lastRet < 0 {
+		t.Throw(ErrIllegalState)
+	}
+	it.checkComod(t)
+	it.list.RemoveAt(t, it.lastRet)
+	it.cursor = it.lastRet
+	it.lastRet = -1
+	it.expected = it.list.modCount.Get(t)
+}
+
+// IndexOf returns the first index of v, or -1 (java.util.List.indexOf).
+func (l *ArrayList) IndexOf(t *conc.Thread, v int) int { return l.indexOf(t, v) }
+
+// LastIndexOf returns the last index of v, or -1.
+func (l *ArrayList) LastIndexOf(t *conc.Thread, v int) int {
+	n := l.size.Get(t)
+	for i := n - 1; i >= 0; i-- {
+		if l.data.Get(t, i) == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set replaces the element at index i, returning the old value.
+func (l *ArrayList) Set(t *conc.Thread, i, v int) int {
+	n := l.size.Get(t)
+	if i < 0 || i >= n {
+		t.Throw(fmt.Errorf("%w: index %d, size %d", ErrIndexOutOfBounds, i, n))
+	}
+	old := l.data.Get(t, i)
+	l.data.Set(t, i, v)
+	return old
+}
+
+// AddAt inserts v at index i, shifting the tail right.
+func (l *ArrayList) AddAt(t *conc.Thread, i, v int) {
+	n := l.size.Get(t)
+	if i < 0 || i > n {
+		t.Throw(fmt.Errorf("%w: index %d, size %d", ErrIndexOutOfBounds, i, n))
+	}
+	if n >= l.data.Len() {
+		t.Throw(fmt.Errorf("%w: %s", ErrCapacityExceeded, l.name))
+	}
+	l.modCount.Add(t, 1)
+	for j := n; j > i; j-- {
+		l.data.Set(t, j, l.data.Get(t, j-1))
+	}
+	l.data.Set(t, i, v)
+	l.size.Set(t, n+1)
+}

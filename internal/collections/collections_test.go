@@ -1,0 +1,445 @@
+package collections
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"racefuzzer/internal/conc"
+	"racefuzzer/internal/sched"
+)
+
+// single runs body as a single-threaded model program and fails the test on
+// deadlock or unexpected exceptions.
+func single(t *testing.T, body func(mt *conc.Thread)) *sched.Result {
+	t.Helper()
+	res := sched.Run(body, sched.Config{Seed: 1})
+	if res.Deadlock != nil {
+		t.Fatalf("deadlock: %v", res.Deadlock)
+	}
+	return res
+}
+
+// noExc asserts the run threw nothing.
+func noExc(t *testing.T, res *sched.Result) {
+	t.Helper()
+	if len(res.Exceptions) != 0 {
+		t.Fatalf("unexpected exceptions: %v", res.Exceptions)
+	}
+}
+
+// mkList constructors for list-generic tests.
+var listMakers = map[string]func(*conc.Thread, string) List{
+	"arraylist":  func(t *conc.Thread, n string) List { return NewArrayList(t, n) },
+	"linkedlist": func(t *conc.Thread, n string) List { return NewLinkedList(t, n) },
+}
+
+var setMakers = map[string]func(*conc.Thread, string) Set{
+	"hashset": func(t *conc.Thread, n string) Set { return NewHashSet(t, n) },
+	"treeset": func(t *conc.Thread, n string) Set { return NewTreeSet(t, n) },
+}
+
+func TestListBasics(t *testing.T) {
+	for name, mk := range listMakers {
+		t.Run(name, func(t *testing.T) {
+			res := single(t, func(mt *conc.Thread) {
+				l := mk(mt, "l")
+				for i := 0; i < 10; i++ {
+					l.Add(mt, i*i)
+				}
+				if got := l.Size(mt); got != 10 {
+					mt.Throwf("size = %d, want 10", got)
+				}
+				for i := 0; i < 10; i++ {
+					if got := l.Get(mt, i); got != i*i {
+						mt.Throwf("get(%d) = %d, want %d", i, got, i*i)
+					}
+					if !l.Contains(mt, i*i) {
+						mt.Throwf("contains(%d) = false", i*i)
+					}
+				}
+				if l.Contains(mt, 999) {
+					mt.Throwf("contains(999) = true")
+				}
+				if !l.Remove(mt, 16) {
+					mt.Throwf("remove(16) = false")
+				}
+				if l.Contains(mt, 16) || l.Size(mt) != 9 {
+					mt.Throwf("remove did not take effect")
+				}
+				if l.Remove(mt, 16) {
+					mt.Throwf("second remove(16) = true")
+				}
+				l.Clear(mt)
+				if l.Size(mt) != 0 {
+					mt.Throwf("clear left %d elements", l.Size(mt))
+				}
+			})
+			noExc(t, res)
+		})
+	}
+}
+
+func TestListIteration(t *testing.T) {
+	for name, mk := range listMakers {
+		t.Run(name, func(t *testing.T) {
+			res := single(t, func(mt *conc.Thread) {
+				l := mk(mt, "l")
+				want := []int{3, 1, 4, 1, 5, 9, 2, 6}
+				for _, v := range want {
+					l.Add(mt, v)
+				}
+				got := ToSlice(mt, l)
+				if len(got) != len(want) {
+					mt.Throwf("iterated %d elements, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						mt.Throwf("order mismatch at %d: %v vs %v", i, got, want)
+					}
+				}
+			})
+			noExc(t, res)
+		})
+	}
+}
+
+func TestIteratorRemove(t *testing.T) {
+	for name, mk := range listMakers {
+		t.Run(name, func(t *testing.T) {
+			res := single(t, func(mt *conc.Thread) {
+				l := mk(mt, "l")
+				for i := 0; i < 8; i++ {
+					l.Add(mt, i)
+				}
+				it := l.Iterator(mt)
+				for it.HasNext(mt) {
+					if it.Next(mt)%2 == 0 {
+						it.Remove(mt)
+					}
+				}
+				if l.Size(mt) != 4 {
+					mt.Throwf("size after removal = %d, want 4", l.Size(mt))
+				}
+				for _, v := range ToSlice(mt, l) {
+					if v%2 == 0 {
+						mt.Throwf("even element %d survived", v)
+					}
+				}
+			})
+			noExc(t, res)
+		})
+	}
+}
+
+func TestIteratorFailFastCME(t *testing.T) {
+	for name, mk := range listMakers {
+		t.Run(name, func(t *testing.T) {
+			res := single(t, func(mt *conc.Thread) {
+				l := mk(mt, "l")
+				l.Add(mt, 1)
+				l.Add(mt, 2)
+				it := l.Iterator(mt)
+				_ = it.Next(mt)
+				l.Add(mt, 3) // structural modification invalidates it
+				_ = it.Next(mt)
+			})
+			if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrConcurrentModification) {
+				t.Fatalf("exceptions = %v, want CME", res.Exceptions)
+			}
+		})
+	}
+}
+
+func TestIteratorPastEndNSE(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l := NewArrayList(mt, "l")
+		it := l.Iterator(mt)
+		_ = it.Next(mt)
+	})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrNoSuchElement) {
+		t.Fatalf("exceptions = %v, want NoSuchElement", res.Exceptions)
+	}
+}
+
+func TestIteratorRemoveBeforeNextIllegal(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l := NewLinkedList(mt, "l")
+		l.Add(mt, 1)
+		l.Iterator(mt).Remove(mt)
+	})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrIllegalState) {
+		t.Fatalf("exceptions = %v, want IllegalState", res.Exceptions)
+	}
+}
+
+func TestIndexOutOfBounds(t *testing.T) {
+	for name, mk := range listMakers {
+		t.Run(name, func(t *testing.T) {
+			res := single(t, func(mt *conc.Thread) {
+				l := mk(mt, "l")
+				l.Add(mt, 7)
+				_ = l.Get(mt, 3)
+			})
+			if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrIndexOutOfBounds) {
+				t.Fatalf("exceptions = %v, want IndexOutOfBounds", res.Exceptions)
+			}
+		})
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	for name, mk := range setMakers {
+		t.Run(name, func(t *testing.T) {
+			res := single(t, func(mt *conc.Thread) {
+				s := mk(mt, "s")
+				for _, v := range []int{5, 3, 8, 3, 5, 13, 1} {
+					s.Add(mt, v)
+				}
+				if got := s.Size(mt); got != 5 {
+					mt.Throwf("size = %d, want 5 (duplicates rejected)", got)
+				}
+				for _, v := range []int{1, 3, 5, 8, 13} {
+					if !s.Contains(mt, v) {
+						mt.Throwf("contains(%d) = false", v)
+					}
+				}
+				if s.Add(mt, 8) {
+					mt.Throwf("re-add(8) returned true")
+				}
+				if !s.Remove(mt, 8) || s.Contains(mt, 8) {
+					mt.Throwf("remove(8) failed")
+				}
+				if s.Remove(mt, 100) {
+					mt.Throwf("remove(100) returned true")
+				}
+				got := ToSlice(mt, s)
+				sort.Ints(got)
+				want := []int{1, 3, 5, 13}
+				if len(got) != len(want) {
+					mt.Throwf("iterated %v, want %v", got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						mt.Throwf("iterated %v, want %v", got, want)
+					}
+				}
+			})
+			noExc(t, res)
+		})
+	}
+}
+
+func TestTreeSetInOrderIteration(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		s := NewTreeSet(mt, "s")
+		for _, v := range []int{50, 20, 80, 10, 30, 70, 90, 25, 35} {
+			s.Add(mt, v)
+		}
+		got := ToSlice(mt, s)
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				mt.Throwf("not in order: %v", got)
+			}
+		}
+	})
+	noExc(t, res)
+}
+
+func TestTreeSetRemoveShapes(t *testing.T) {
+	// Exercise all three BST deletion cases: leaf, one child, two children
+	// (including root).
+	res := single(t, func(mt *conc.Thread) {
+		s := NewTreeSet(mt, "s")
+		for _, v := range []int{50, 20, 80, 10, 30, 70, 90, 25} {
+			s.Add(mt, v)
+		}
+		for _, v := range []int{10 /*leaf*/, 20 /*one child after 10 gone? two: 25,30*/, 50 /*root two children*/, 90 /*leaf*/} {
+			if !s.Remove(mt, v) {
+				mt.Throwf("remove(%d) = false", v)
+			}
+			if s.Contains(mt, v) {
+				mt.Throwf("contains(%d) after remove", v)
+			}
+		}
+		got := ToSlice(mt, s)
+		want := []int{25, 30, 70, 80}
+		if len(got) != len(want) {
+			mt.Throwf("got %v want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				mt.Throwf("got %v want %v", got, want)
+			}
+		}
+	})
+	noExc(t, res)
+}
+
+func TestHashSetManyBucketsAndCollisions(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		s := NewHashSet(mt, "s")
+		for i := 0; i < 60; i++ {
+			s.Add(mt, i)
+		}
+		if s.Size(mt) != 60 {
+			mt.Throwf("size = %d", s.Size(mt))
+		}
+		for i := 0; i < 60; i++ {
+			if !s.Contains(mt, i) {
+				mt.Throwf("missing %d", i)
+			}
+		}
+		for i := 0; i < 60; i += 2 {
+			s.Remove(mt, i)
+		}
+		if s.Size(mt) != 30 {
+			mt.Throwf("size after removes = %d", s.Size(mt))
+		}
+		got := ToSlice(mt, s)
+		if len(got) != 30 {
+			mt.Throwf("iterated %d elements", len(got))
+		}
+	})
+	noExc(t, res)
+}
+
+func TestVectorSynchronizedOps(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		v := NewVector(mt, "v")
+		for i := 0; i < 10; i++ {
+			v.AddElement(mt, i*3)
+		}
+		if v.Size(mt) != 10 || !v.Contains(mt, 27) || v.Contains(mt, 28) {
+			mt.Throwf("vector state wrong")
+		}
+		if v.ElementAt(mt, 4) != 12 {
+			mt.Throwf("elementAt(4) = %d", v.ElementAt(mt, 4))
+		}
+		v.RemoveElement(mt, 12)
+		if v.Size(mt) != 9 || v.Contains(mt, 12) {
+			mt.Throwf("removeElement failed")
+		}
+		e := v.Elements(mt)
+		n := 0
+		for e.HasNext(mt) {
+			e.Next(mt)
+			n++
+		}
+		if n != 9 {
+			mt.Throwf("enumeration saw %d elements", n)
+		}
+	})
+	noExc(t, res)
+}
+
+func TestAbstractBulkOps(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l1 := NewArrayList(mt, "l1")
+		l2 := NewLinkedList(mt, "l2")
+		for _, v := range []int{1, 2, 3, 4, 5} {
+			l1.Add(mt, v)
+		}
+		for _, v := range []int{2, 4} {
+			l2.Add(mt, v)
+		}
+		if !l1.ContainsAll(mt, l2) {
+			mt.Throwf("containsAll = false")
+		}
+		l2.Add(mt, 99)
+		if l1.ContainsAll(mt, l2) {
+			mt.Throwf("containsAll = true with 99")
+		}
+		l1.RemoveAll(mt, l2)
+		got := ToSlice(mt, l1)
+		want := []int{1, 3, 5}
+		if len(got) != len(want) {
+			mt.Throwf("removeAll left %v", got)
+		}
+		l1.AddAll(mt, l2)
+		if l1.Size(mt) != 6 {
+			mt.Throwf("addAll size = %d", l1.Size(mt))
+		}
+
+		a := NewArrayList(mt, "a")
+		b := NewLinkedList(mt, "b")
+		for _, v := range []int{7, 8, 9} {
+			a.Add(mt, v)
+			b.Add(mt, v)
+		}
+		if !a.Equals(mt, b) {
+			mt.Throwf("equals = false on equal lists")
+		}
+		b.Add(mt, 10)
+		if a.Equals(mt, b) {
+			mt.Throwf("equals = true on different lengths")
+		}
+	})
+	noExc(t, res)
+}
+
+func TestSynchronizedWrappersSequential(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l := NewSynchronizedList(mt, "sl", NewArrayList(mt, "l"))
+		s := NewSynchronizedSet(mt, "ss", NewHashSet(mt, "s"))
+		for i := 0; i < 5; i++ {
+			l.Add(mt, i)
+			s.Add(mt, i)
+		}
+		if l.Size(mt) != 5 || s.Size(mt) != 5 {
+			mt.Throwf("sizes wrong")
+		}
+		if !l.ContainsAll(mt, s) || !s.ContainsAll(mt, l) {
+			mt.Throwf("containsAll wrong")
+		}
+		l.Remove(mt, 3)
+		if l.Contains(mt, 3) || l.Size(mt) != 4 {
+			mt.Throwf("remove wrong")
+		}
+		if l.Get(mt, 3) != 4 {
+			mt.Throwf("get(3) = %d", l.Get(mt, 3))
+		}
+	})
+	noExc(t, res)
+}
+
+// TestContainsAllRemoveAllBugReproduces is the paper's §5.3 scenario:
+// l1.containsAll(l2) in one thread and l2.removeAll(...) in another, both on
+// synchronized wrappers, can throw ConcurrentModificationException or
+// NoSuchElementException under some interleaving.
+func TestContainsAllRemoveAllBugReproduces(t *testing.T) {
+	for name, mk := range listMakers {
+		t.Run(name, func(t *testing.T) {
+			sawBug := false
+			for seed := int64(0); seed < 400 && !sawBug; seed++ {
+				prog := func(mt *conc.Thread) {
+					l1 := NewSynchronizedList(mt, "l1", mk(mt, "raw1"))
+					l2 := NewSynchronizedList(mt, "l2", mk(mt, "raw2"))
+					rm := NewArrayList(mt, "rm")
+					for i := 0; i < 4; i++ {
+						l1.Add(mt, i)
+						l2.Add(mt, i)
+						rm.Add(mt, i)
+					}
+					t1 := mt.Fork("containsAll", func(c *conc.Thread) {
+						l1.ContainsAll(c, l2)
+					})
+					t2 := mt.Fork("removeAll", func(c *conc.Thread) {
+						l2.RemoveAll(c, rm)
+					})
+					mt.Join(t1)
+					mt.Join(t2)
+				}
+				res := sched.Run(prog, sched.Config{Seed: seed})
+				for _, ex := range res.Exceptions {
+					if errors.Is(ex.Err, ErrConcurrentModification) || errors.Is(ex.Err, ErrNoSuchElement) {
+						sawBug = true
+					}
+				}
+			}
+			if !sawBug {
+				t.Fatal("the §5.3 containsAll/removeAll bug never reproduced under random scheduling")
+			}
+		})
+	}
+}

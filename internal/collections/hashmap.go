@@ -1,0 +1,182 @@
+package collections
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/conc"
+)
+
+// hmNode is one chained HashMap entry; value and next are instrumented.
+type hmNode struct {
+	key  int
+	val  *conc.Var[int]
+	next *conc.Var[*hmNode]
+}
+
+// HashMap models java.util.HashMap (JDK 1.4): an unsynchronized chained
+// hash table with size, modCount and fail-fast iteration over entries.
+type HashMap struct {
+	name     string
+	buckets  *conc.Array[*hmNode]
+	size     *conc.IntVar
+	modCount *conc.IntVar
+	nodeSeq  int
+}
+
+// NewHashMap allocates an empty HashMap.
+func NewHashMap(t *conc.Thread, name string) *HashMap {
+	return &HashMap{
+		name:     name,
+		buckets:  conc.NewArray[*hmNode](t, name+".table", hsBuckets),
+		size:     conc.NewIntVar(t, name+".size", 0),
+		modCount: conc.NewIntVar(t, name+".modCount", 0),
+	}
+}
+
+// Put maps key to val, returning the previous value and whether one existed.
+func (m *HashMap) Put(t *conc.Thread, key, val int) (int, bool) {
+	b := hashOf(key)
+	for e := m.buckets.Get(t, b); e != nil; e = e.next.Get(t) {
+		if e.key == key {
+			old := e.val.Get(t)
+			e.val.Set(t, val)
+			return old, true
+		}
+	}
+	m.nodeSeq++
+	base := fmt.Sprintf("%s.entry%d", m.name, m.nodeSeq)
+	n := &hmNode{
+		key:  key,
+		val:  conc.NewVar(t, base+".value", val),
+		next: conc.NewVar[*hmNode](t, base+".next", nil),
+	}
+	n.next.Set(t, m.buckets.Get(t, b))
+	m.buckets.Set(t, b, n)
+	m.size.Add(t, 1)
+	m.modCount.Add(t, 1)
+	return 0, false
+}
+
+// Get returns the value mapped to key and whether it exists.
+func (m *HashMap) Get(t *conc.Thread, key int) (int, bool) {
+	for e := m.buckets.Get(t, hashOf(key)); e != nil; e = e.next.Get(t) {
+		if e.key == key {
+			return e.val.Get(t), true
+		}
+	}
+	return 0, false
+}
+
+// ContainsKey reports whether key is mapped.
+func (m *HashMap) ContainsKey(t *conc.Thread, key int) bool {
+	_, ok := m.Get(t, key)
+	return ok
+}
+
+// Remove unmaps key, returning the removed value and whether it existed.
+func (m *HashMap) Remove(t *conc.Thread, key int) (int, bool) {
+	b := hashOf(key)
+	var prev *hmNode
+	for e := m.buckets.Get(t, b); e != nil; e = e.next.Get(t) {
+		if e.key == key {
+			v := e.val.Get(t)
+			if prev == nil {
+				m.buckets.Set(t, b, e.next.Get(t))
+			} else {
+				prev.next.Set(t, e.next.Get(t))
+			}
+			m.size.Add(t, -1)
+			m.modCount.Add(t, 1)
+			return v, true
+		}
+		prev = e
+	}
+	return 0, false
+}
+
+// Size returns the number of mappings.
+func (m *HashMap) Size(t *conc.Thread) int { return m.size.Get(t) }
+
+// Clear removes every mapping.
+func (m *HashMap) Clear(t *conc.Thread) {
+	for b := 0; b < hsBuckets; b++ {
+		m.buckets.Set(t, b, nil)
+	}
+	m.size.Set(t, 0)
+	m.modCount.Add(t, 1)
+}
+
+// Entry is one key/value snapshot produced by iteration.
+type Entry struct{ Key, Val int }
+
+// Entries iterates the map fail-fast, returning entry snapshots; it throws
+// ConcurrentModificationException when the map changes underneath it.
+func (m *HashMap) Entries(t *conc.Thread) []Entry {
+	expected := m.modCount.Get(t)
+	var out []Entry
+	for b := 0; b < hsBuckets; b++ {
+		for e := m.buckets.Get(t, b); e != nil; e = e.next.Get(t) {
+			if m.modCount.Get(t) != expected {
+				throwCME(t, m.name)
+			}
+			out = append(out, Entry{Key: e.key, Val: e.val.Get(t)})
+		}
+	}
+	return out
+}
+
+// Hashtable models java.util.Hashtable (JDK 1.0): every method synchronized
+// on the table's own monitor — the map analogue of Vector.
+type Hashtable struct {
+	mon   *conc.Mutex
+	inner *HashMap
+}
+
+// NewHashtable allocates an empty Hashtable.
+func NewHashtable(t *conc.Thread, name string) *Hashtable {
+	return &Hashtable{
+		mon:   conc.NewMutex(t, name+".monitor"),
+		inner: NewHashMap(t, name),
+	}
+}
+
+// Put maps key to val (synchronized).
+func (h *Hashtable) Put(t *conc.Thread, key, val int) (int, bool) {
+	h.mon.Lock(t)
+	old, ok := h.inner.Put(t, key, val)
+	h.mon.Unlock(t)
+	return old, ok
+}
+
+// Get returns key's value (synchronized).
+func (h *Hashtable) Get(t *conc.Thread, key int) (int, bool) {
+	h.mon.Lock(t)
+	v, ok := h.inner.Get(t, key)
+	h.mon.Unlock(t)
+	return v, ok
+}
+
+// Remove unmaps key (synchronized).
+func (h *Hashtable) Remove(t *conc.Thread, key int) (int, bool) {
+	h.mon.Lock(t)
+	v, ok := h.inner.Remove(t, key)
+	h.mon.Unlock(t)
+	return v, ok
+}
+
+// Size returns the mapping count (synchronized).
+func (h *Hashtable) Size(t *conc.Thread) int {
+	h.mon.Lock(t)
+	n := h.inner.Size(t)
+	h.mon.Unlock(t)
+	return n
+}
+
+// Entries snapshots the table (synchronized — unlike Vector's Enumeration,
+// Hashtable's synchronized methods cover whole-table iteration here).
+func (h *Hashtable) Entries(t *conc.Thread) []Entry {
+	h.mon.Lock(t)
+	out := h.inner.Entries(t)
+	h.mon.Unlock(t)
+	return out
+}

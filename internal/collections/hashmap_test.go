@@ -1,0 +1,128 @@
+package collections
+
+import (
+	"errors"
+	"testing"
+
+	"racefuzzer/internal/conc"
+	"racefuzzer/internal/sched"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		m := NewHashMap(mt, "m")
+		for i := 0; i < 20; i++ {
+			if _, existed := m.Put(mt, i, i*i); existed {
+				mt.Throwf("fresh key %d 'existed'", i)
+			}
+		}
+		if m.Size(mt) != 20 {
+			mt.Throwf("size = %d", m.Size(mt))
+		}
+		for i := 0; i < 20; i++ {
+			v, ok := m.Get(mt, i)
+			if !ok || v != i*i {
+				mt.Throwf("get(%d) = %d,%v", i, v, ok)
+			}
+		}
+		if old, existed := m.Put(mt, 7, 1000); !existed || old != 49 {
+			mt.Throwf("overwrite returned %d,%v", old, existed)
+		}
+		if v, _ := m.Get(mt, 7); v != 1000 {
+			mt.Throwf("overwritten value = %d", v)
+		}
+		if _, ok := m.Get(mt, 99); ok {
+			mt.Throwf("phantom key")
+		}
+		if v, ok := m.Remove(mt, 3); !ok || v != 9 {
+			mt.Throwf("remove(3) = %d,%v", v, ok)
+		}
+		if m.ContainsKey(mt, 3) || m.Size(mt) != 19 {
+			mt.Throwf("remove did not take effect")
+		}
+		if _, ok := m.Remove(mt, 3); ok {
+			mt.Throwf("double remove succeeded")
+		}
+		entries := m.Entries(mt)
+		if len(entries) != 19 {
+			mt.Throwf("entries = %d", len(entries))
+		}
+		m.Clear(mt)
+		if m.Size(mt) != 0 || len(m.Entries(mt)) != 0 {
+			mt.Throwf("clear failed")
+		}
+	})
+	noExc(t, res)
+}
+
+func TestHashMapFailFastEntries(t *testing.T) {
+	// A mutation between two entry visits must raise CME. Drive it with two
+	// threads and random scheduling.
+	sawCME := false
+	for seed := int64(0); seed < 300 && !sawCME; seed++ {
+		prog := func(mt *conc.Thread) {
+			m := NewHashMap(mt, "m")
+			for i := 0; i < 6; i++ {
+				m.Put(mt, i, i)
+			}
+			a := mt.Fork("iter", func(c *conc.Thread) { m.Entries(c) })
+			b := mt.Fork("mut", func(c *conc.Thread) { m.Put(c, 100, 1) })
+			mt.Join(a)
+			mt.Join(b)
+		}
+		res := sched.Run(prog, sched.Config{Seed: seed})
+		for _, ex := range res.Exceptions {
+			if errors.Is(ex.Err, ErrConcurrentModification) {
+				sawCME = true
+			}
+		}
+	}
+	if !sawCME {
+		t.Fatal("HashMap iteration never failed fast under concurrent mutation")
+	}
+}
+
+func TestHashtableSynchronized(t *testing.T) {
+	// Concurrent Put/Get/Entries on a Hashtable never throws and never
+	// loses an entry: the monitor serializes everything.
+	for seed := int64(0); seed < 30; seed++ {
+		var finalSize int
+		prog := func(mt *conc.Thread) {
+			h := NewHashtable(mt, "h")
+			workers := conc.ForkN(mt, "w", 3, func(c *conc.Thread, id int) {
+				for k := 0; k < 4; k++ {
+					h.Put(c, id*10+k, k)
+					h.Get(c, (id+1)*10%30)
+					_ = h.Entries(c)
+				}
+			})
+			conc.JoinAll(mt, workers)
+			finalSize = h.Size(mt)
+		}
+		res := sched.Run(prog, sched.Config{Seed: seed})
+		if res.Deadlock != nil || len(res.Exceptions) != 0 {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+		if finalSize != 12 {
+			t.Fatalf("seed %d: size = %d, want 12", seed, finalSize)
+		}
+	}
+}
+
+func TestHashtableRemove(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		h := NewHashtable(mt, "h")
+		h.Put(mt, 1, 10)
+		h.Put(mt, 2, 20)
+		if v, ok := h.Remove(mt, 1); !ok || v != 10 {
+			mt.Throwf("remove = %d,%v", v, ok)
+		}
+		if _, ok := h.Get(mt, 1); ok {
+			mt.Throwf("key survived removal")
+		}
+		if h.Size(mt) != 1 {
+			mt.Throwf("size = %d", h.Size(mt))
+		}
+	})
+	noExc(t, res)
+}

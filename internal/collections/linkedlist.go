@@ -1,0 +1,229 @@
+package collections
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/conc"
+)
+
+// llNode is a doubly-linked node. The value is immutable after creation;
+// next/prev are instrumented because pointer splices are where the races
+// happen.
+type llNode struct {
+	val  int
+	next *conc.Var[*llNode]
+	prev *conc.Var[*llNode]
+}
+
+func newLLNode(t *conc.Thread, name string, v int) *llNode {
+	return &llNode{
+		val:  v,
+		next: conc.NewVar[*llNode](t, name+".next", nil),
+		prev: conc.NewVar[*llNode](t, name+".prev", nil),
+	}
+}
+
+// LinkedList models java.util.LinkedList (JDK 1.4.2): a doubly-linked list
+// with a header sentinel, size and modCount fields, and a fail-fast
+// iterator.
+type LinkedList struct {
+	name     string
+	header   *llNode
+	size     *conc.IntVar
+	modCount *conc.IntVar
+	nodeSeq  int
+}
+
+// NewLinkedList allocates an empty LinkedList.
+func NewLinkedList(t *conc.Thread, name string) *LinkedList {
+	l := &LinkedList{
+		name:     name,
+		header:   newLLNode(t, name+".header", 0),
+		size:     conc.NewIntVar(t, name+".size", 0),
+		modCount: conc.NewIntVar(t, name+".modCount", 0),
+	}
+	l.header.next.Set(t, l.header)
+	l.header.prev.Set(t, l.header)
+	return l
+}
+
+func (l *LinkedList) newNode(t *conc.Thread, v int) *llNode {
+	l.nodeSeq++
+	return newLLNode(t, fmt.Sprintf("%s.node%d", l.name, l.nodeSeq), v)
+}
+
+// Add appends v before the header (at the tail).
+func (l *LinkedList) Add(t *conc.Thread, v int) bool {
+	n := l.newNode(t, v)
+	tail := l.header.prev.Get(t)
+	n.prev.Set(t, tail)
+	n.next.Set(t, l.header)
+	tail.next.Set(t, n)
+	l.header.prev.Set(t, n)
+	l.size.Add(t, 1)
+	l.modCount.Add(t, 1)
+	return true
+}
+
+// Get returns the element at index i by walking from the header.
+func (l *LinkedList) Get(t *conc.Thread, i int) int {
+	n := l.size.Get(t)
+	if i < 0 || i >= n {
+		t.Throw(fmt.Errorf("%w: index %d, size %d", ErrIndexOutOfBounds, i, n))
+	}
+	e := l.header.next.Get(t)
+	for j := 0; j < i; j++ {
+		e = e.next.Get(t)
+	}
+	return e.val
+}
+
+// Contains walks the list looking for v.
+func (l *LinkedList) Contains(t *conc.Thread, v int) bool {
+	for e := l.header.next.Get(t); e != l.header; e = e.next.Get(t) {
+		if e.val == v {
+			return true
+		}
+	}
+	return false
+}
+
+// unlink removes node e from the chain.
+func (l *LinkedList) unlink(t *conc.Thread, e *llNode) {
+	p := e.prev.Get(t)
+	n := e.next.Get(t)
+	p.next.Set(t, n)
+	n.prev.Set(t, p)
+	l.size.Add(t, -1)
+	l.modCount.Add(t, 1)
+}
+
+// Remove deletes one occurrence of v.
+func (l *LinkedList) Remove(t *conc.Thread, v int) bool {
+	for e := l.header.next.Get(t); e != l.header; e = e.next.Get(t) {
+		if e.val == v {
+			l.unlink(t, e)
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the element count.
+func (l *LinkedList) Size(t *conc.Thread) int { return l.size.Get(t) }
+
+// Clear empties the list.
+func (l *LinkedList) Clear(t *conc.Thread) {
+	l.header.next.Set(t, l.header)
+	l.header.prev.Set(t, l.header)
+	l.size.Set(t, 0)
+	l.modCount.Add(t, 1)
+}
+
+// Iterator returns a fail-fast iterator (java.util.LinkedList.ListItr).
+func (l *LinkedList) Iterator(t *conc.Thread) Iterator {
+	return &linkedListIter{
+		list: l, next: l.header.next.Get(t), expected: l.modCount.Get(t),
+	}
+}
+
+// ContainsAll reports whether every element of c is in l (AbstractCollection).
+func (l *LinkedList) ContainsAll(t *conc.Thread, c Collection) bool {
+	return AbstractContainsAll(t, l, c)
+}
+
+// AddAll appends every element of c.
+func (l *LinkedList) AddAll(t *conc.Thread, c Collection) bool { return AbstractAddAll(t, l, c) }
+
+// RemoveAll removes every element of c from l.
+func (l *LinkedList) RemoveAll(t *conc.Thread, c Collection) bool { return AbstractRemoveAll(t, l, c) }
+
+// Equals is AbstractList.equals.
+func (l *LinkedList) Equals(t *conc.Thread, c List) bool { return AbstractListEquals(t, l, c) }
+
+// linkedListIter is the fail-fast iterator.
+type linkedListIter struct {
+	list     *LinkedList
+	next     *llNode
+	lastRet  *llNode
+	expected int
+}
+
+func (it *linkedListIter) checkComod(t *conc.Thread) {
+	if it.list.modCount.Get(t) != it.expected {
+		throwCME(t, it.list.name)
+	}
+}
+
+// HasNext implements Iterator.
+func (it *linkedListIter) HasNext(t *conc.Thread) bool {
+	return it.next != it.list.header
+}
+
+// Next implements Iterator.
+func (it *linkedListIter) Next(t *conc.Thread) int {
+	it.checkComod(t)
+	if it.next == it.list.header {
+		throwNSE(t, it.list.name)
+	}
+	it.lastRet = it.next
+	it.next = it.next.next.Get(t)
+	return it.lastRet.val
+}
+
+// Remove implements Iterator.
+func (it *linkedListIter) Remove(t *conc.Thread) {
+	if it.lastRet == nil {
+		t.Throw(ErrIllegalState)
+	}
+	it.checkComod(t)
+	it.list.unlink(t, it.lastRet)
+	it.lastRet = nil
+	it.expected = it.list.modCount.Get(t)
+}
+
+// IndexOf returns the first index of v, or -1.
+func (l *LinkedList) IndexOf(t *conc.Thread, v int) int {
+	i := 0
+	for e := l.header.next.Get(t); e != l.header; e = e.next.Get(t) {
+		if e.val == v {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// AddFirst prepends v (java.util.LinkedList.addFirst).
+func (l *LinkedList) AddFirst(t *conc.Thread, v int) {
+	n := l.newNode(t, v)
+	first := l.header.next.Get(t)
+	n.prev.Set(t, l.header)
+	n.next.Set(t, first)
+	l.header.next.Set(t, n)
+	first.prev.Set(t, n)
+	l.size.Add(t, 1)
+	l.modCount.Add(t, 1)
+}
+
+// RemoveFirst removes and returns the head (NoSuchElementException when
+// empty).
+func (l *LinkedList) RemoveFirst(t *conc.Thread) int {
+	first := l.header.next.Get(t)
+	if first == l.header {
+		throwNSE(t, l.name)
+	}
+	l.unlink(t, first)
+	return first.val
+}
+
+// RemoveLast removes and returns the tail (NoSuchElementException when
+// empty).
+func (l *LinkedList) RemoveLast(t *conc.Thread) int {
+	last := l.header.prev.Get(t)
+	if last == l.header {
+		throwNSE(t, l.name)
+	}
+	l.unlink(t, last)
+	return last.val
+}

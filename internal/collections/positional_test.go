@@ -1,0 +1,119 @@
+package collections
+
+import (
+	"errors"
+	"testing"
+
+	"racefuzzer/internal/conc"
+)
+
+func TestArrayListPositionalOps(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l := NewArrayList(mt, "l")
+		for _, v := range []int{1, 2, 3, 2, 1} {
+			l.Add(mt, v)
+		}
+		if l.IndexOf(mt, 2) != 1 || l.LastIndexOf(mt, 2) != 3 {
+			mt.Throwf("indexOf/lastIndexOf wrong")
+		}
+		if l.IndexOf(mt, 9) != -1 || l.LastIndexOf(mt, 9) != -1 {
+			mt.Throwf("absent element found")
+		}
+		if old := l.Set(mt, 2, 30); old != 3 {
+			mt.Throwf("set returned %d", old)
+		}
+		if l.Get(mt, 2) != 30 {
+			mt.Throwf("set did not stick")
+		}
+		l.AddAt(mt, 0, 99)
+		if l.Get(mt, 0) != 99 || l.Get(mt, 1) != 1 || l.Size(mt) != 6 {
+			mt.Throwf("addAt head wrong: %v", ToSlice(mt, l))
+		}
+		l.AddAt(mt, 6, 77) // append position
+		if l.Get(mt, 6) != 77 {
+			mt.Throwf("addAt tail wrong")
+		}
+		l.AddAt(mt, 3, 55)
+		want := []int{99, 1, 2, 55, 30, 2, 1, 77}
+		got := ToSlice(mt, l)
+		for i := range want {
+			if got[i] != want[i] {
+				mt.Throwf("after middle insert: %v, want %v", got, want)
+			}
+		}
+	})
+	noExc(t, res)
+}
+
+func TestArrayListAddAtOutOfRange(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l := NewArrayList(mt, "l")
+		l.AddAt(mt, 1, 5)
+	})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrIndexOutOfBounds) {
+		t.Fatalf("exceptions = %v", res.Exceptions)
+	}
+}
+
+func TestLinkedListDequeOps(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l := NewLinkedList(mt, "l")
+		l.Add(mt, 2)
+		l.AddFirst(mt, 1)
+		l.Add(mt, 3)
+		if l.IndexOf(mt, 1) != 0 || l.IndexOf(mt, 3) != 2 || l.IndexOf(mt, 9) != -1 {
+			mt.Throwf("indexOf wrong: %v", ToSlice(mt, l))
+		}
+		if v := l.RemoveFirst(mt); v != 1 {
+			mt.Throwf("removeFirst = %d", v)
+		}
+		if v := l.RemoveLast(mt); v != 3 {
+			mt.Throwf("removeLast = %d", v)
+		}
+		if l.Size(mt) != 1 || l.Get(mt, 0) != 2 {
+			mt.Throwf("remaining list wrong")
+		}
+	})
+	noExc(t, res)
+}
+
+func TestLinkedListRemoveFirstEmpty(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		l := NewLinkedList(mt, "l")
+		l.RemoveFirst(mt)
+	})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrNoSuchElement) {
+		t.Fatalf("exceptions = %v", res.Exceptions)
+	}
+}
+
+func TestVectorPositionalOps(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		v := NewVector(mt, "v")
+		for i := 1; i <= 3; i++ {
+			v.AddElement(mt, i*10)
+		}
+		if v.FirstElement(mt) != 10 || v.LastElement(mt) != 30 {
+			mt.Throwf("first/last wrong")
+		}
+		v.SetElementAt(mt, 99, 1)
+		if v.ElementAt(mt, 1) != 99 {
+			mt.Throwf("setElementAt failed")
+		}
+		v.InsertElementAt(mt, 5, 0)
+		if v.FirstElement(mt) != 5 || v.Size(mt) != 4 || v.ElementAt(mt, 1) != 10 {
+			mt.Throwf("insertElementAt failed")
+		}
+	})
+	noExc(t, res)
+}
+
+func TestVectorFirstElementEmpty(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		v := NewVector(mt, "v")
+		v.FirstElement(mt)
+	})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrNoSuchElement) {
+		t.Fatalf("exceptions = %v", res.Exceptions)
+	}
+}

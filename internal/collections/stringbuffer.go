@@ -1,0 +1,124 @@
+package collections
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/conc"
+)
+
+// StringBuffer models java.lang.StringBuffer: every method is synchronized
+// on the buffer's own monitor — and yet the classic cross-object bug is
+// here, faithfully: Append(other) locks THIS buffer and then reads the
+// OTHER buffer's length and characters without holding the other's monitor
+// (in real Java, sb.append(other) calls other.length() and other.getChars()
+// — individually synchronized, but the composite read is not atomic). A
+// concurrent mutation of the argument between the length read and the
+// character copy makes Append read a torn snapshot, or throw
+// IndexOutOfBounds when the argument shrank — the StringBuffer analogue of
+// §5.3's containsAll bug.
+type StringBuffer struct {
+	name string
+	mon  *conc.Mutex
+	data *conc.Array[int] // character cells
+	len  *conc.IntVar
+}
+
+// NewStringBuffer allocates an empty buffer.
+func NewStringBuffer(t *conc.Thread, name string) *StringBuffer {
+	return &StringBuffer{
+		name: name,
+		mon:  conc.NewMutex(t, name+".monitor"),
+		data: conc.NewArray[int](t, name+".value", defaultCap),
+		len:  conc.NewIntVar(t, name+".count", 0),
+	}
+}
+
+// Length returns the character count (synchronized).
+func (s *StringBuffer) Length(t *conc.Thread) int {
+	s.mon.Lock(t)
+	n := s.len.Get(t)
+	s.mon.Unlock(t)
+	return n
+}
+
+// AppendChar appends one character (synchronized).
+func (s *StringBuffer) AppendChar(t *conc.Thread, ch int) {
+	s.mon.Lock(t)
+	n := s.len.Get(t)
+	if n >= s.data.Len() {
+		s.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: %s", ErrCapacityExceeded, s.name))
+	}
+	s.data.Set(t, n, ch)
+	s.len.Set(t, n+1)
+	s.mon.Unlock(t)
+}
+
+// SetLength truncates or zero-extends the buffer (synchronized).
+func (s *StringBuffer) SetLength(t *conc.Thread, n int) {
+	s.mon.Lock(t)
+	if n < 0 || n > s.data.Len() {
+		s.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: setLength(%d)", ErrIndexOutOfBounds, n))
+	}
+	cur := s.len.Get(t)
+	for i := cur; i < n; i++ {
+		s.data.Set(t, i, 0)
+	}
+	s.len.Set(t, n)
+	s.mon.Unlock(t)
+}
+
+// CharAt returns the character at index i (synchronized).
+func (s *StringBuffer) CharAt(t *conc.Thread, i int) int {
+	s.mon.Lock(t)
+	n := s.len.Get(t)
+	if i < 0 || i >= n {
+		s.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: charAt(%d), length %d", ErrIndexOutOfBounds, i, n))
+	}
+	ch := s.data.Get(t, i)
+	s.mon.Unlock(t)
+	return ch
+}
+
+// Append appends the contents of other. JDK-faithful bug: the receiver's
+// monitor is held, but the argument's length and characters are read with
+// NO lock on the argument — the composite is not atomic, so a concurrent
+// SetLength/AppendChar on other can make the copy read stale cells or
+// throw IndexOutOfBounds.
+func (s *StringBuffer) Append(t *conc.Thread, other *StringBuffer) {
+	s.mon.Lock(t)
+	n := other.len.Get(t) // ← unsynchronized read of the argument's count
+	dst := s.len.Get(t)
+	if dst+n > s.data.Len() {
+		s.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: %s", ErrCapacityExceeded, s.name))
+	}
+	for i := 0; i < n; i++ {
+		// ← unsynchronized reads of the argument's characters; the argument
+		// may have been truncated since the length read.
+		cur := other.len.Get(t)
+		if i >= cur {
+			s.mon.Unlock(t)
+			t.Throw(fmt.Errorf("%w: append saw %s shrink from %d to %d",
+				ErrIndexOutOfBounds, other.name, n, cur))
+		}
+		s.data.Set(t, dst+i, other.data.Get(t, i))
+	}
+	s.len.Set(t, dst+n)
+	s.mon.Unlock(t)
+}
+
+// String snapshots the contents (synchronized; characters rendered as
+// letters for readable assertions).
+func (s *StringBuffer) String(t *conc.Thread) string {
+	s.mon.Lock(t)
+	n := s.len.Get(t)
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		buf[i] = byte('a' + s.data.Get(t, i)%26)
+	}
+	s.mon.Unlock(t)
+	return string(buf)
+}

@@ -1,0 +1,136 @@
+package collections
+
+import (
+	"errors"
+	"testing"
+
+	"racefuzzer/internal/conc"
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/hybrid"
+	"racefuzzer/internal/sched"
+)
+
+func TestStringBufferSequential(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		sb := NewStringBuffer(mt, "sb")
+		for _, ch := range []int{7, 4, 11, 11, 14} { // "hello"
+			sb.AppendChar(mt, ch)
+		}
+		if got := sb.String(mt); got != "hello" {
+			mt.Throwf("string = %q", got)
+		}
+		if sb.Length(mt) != 5 || sb.CharAt(mt, 1) != 4 {
+			mt.Throwf("length/charAt wrong")
+		}
+		other := NewStringBuffer(mt, "other")
+		other.AppendChar(mt, 22) // 'w'
+		other.AppendChar(mt, 14) // 'o'
+		sb.Append(mt, other)
+		if got := sb.String(mt); got != "hellowo" {
+			mt.Throwf("after append = %q", got)
+		}
+		sb.SetLength(mt, 5)
+		if got := sb.String(mt); got != "hello" {
+			mt.Throwf("after setLength = %q", got)
+		}
+	})
+	noExc(t, res)
+}
+
+func TestStringBufferBoundsErrors(t *testing.T) {
+	res := single(t, func(mt *conc.Thread) {
+		sb := NewStringBuffer(mt, "sb")
+		sb.AppendChar(mt, 1)
+		_ = sb.CharAt(mt, 5)
+	})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrIndexOutOfBounds) {
+		t.Fatalf("exceptions = %v", res.Exceptions)
+	}
+}
+
+// appendShrinkProgram is the famous java.lang.StringBuffer bug: one thread
+// appends buffer b into a, another truncates b. The append reads b's count,
+// then b's characters, without b's monitor — a torn composite read.
+func appendShrinkProgram() func(*conc.Thread) {
+	return func(mt *conc.Thread) {
+		a := NewStringBuffer(mt, "a")
+		b := NewStringBuffer(mt, "b")
+		for i := 0; i < 6; i++ {
+			b.AppendChar(mt, i)
+		}
+		t1 := mt.Fork("appender", func(c *conc.Thread) {
+			a.Append(c, b)
+		})
+		t2 := mt.Fork("truncator", func(c *conc.Thread) {
+			b.SetLength(c, 1)
+		})
+		mt.Join(t1)
+		mt.Join(t2)
+	}
+}
+
+func TestStringBufferAppendRaceIsRealAndHarmful(t *testing.T) {
+	// Phase 1 must flag the cross-object accesses; RaceFuzzer must confirm
+	// them and expose the IndexOutOfBounds in some resolution.
+	hybridPairs := func() []event.StmtPair {
+		det := hybrid.New()
+		union := map[event.StmtPair]bool{}
+		for i := int64(0); i < 6; i++ {
+			d := hybrid.New()
+			sched.Run(appendShrinkProgram(), sched.Config{Seed: i, Observers: []sched.Observer{d}})
+			for _, p := range d.Pairs() {
+				union[p] = true
+			}
+		}
+		_ = det
+		out := make([]event.StmtPair, 0, len(union))
+		for p := range union {
+			out = append(out, p)
+		}
+		event.SortStmtPairs(out)
+		return out
+	}()
+	if len(hybridPairs) == 0 {
+		t.Fatal("hybrid found nothing in the append/truncate program")
+	}
+
+	sawOOB := false
+	for seed := int64(0); seed < 400 && !sawOOB; seed++ {
+		res := sched.Run(appendShrinkProgram(), sched.Config{Seed: seed})
+		for _, ex := range res.Exceptions {
+			if errors.Is(ex.Err, ErrIndexOutOfBounds) {
+				sawOOB = true
+			}
+		}
+	}
+	if !sawOOB {
+		t.Fatal("the append/truncate torn read never threw under random scheduling")
+	}
+}
+
+func TestStringBufferAppendAtomicWhenArgumentQuiescent(t *testing.T) {
+	// Without a concurrent truncation the append is well-behaved under any
+	// schedule.
+	for seed := int64(0); seed < 20; seed++ {
+		var got string
+		prog := func(mt *conc.Thread) {
+			a := NewStringBuffer(mt, "a")
+			b := NewStringBuffer(mt, "b")
+			for i := 0; i < 3; i++ {
+				b.AppendChar(mt, i)
+			}
+			t1 := mt.Fork("appender", func(c *conc.Thread) { a.Append(c, b) })
+			t2 := mt.Fork("reader", func(c *conc.Thread) { _ = b.Length(c) })
+			mt.Join(t1)
+			mt.Join(t2)
+			got = a.String(mt)
+		}
+		res := sched.Run(prog, sched.Config{Seed: seed})
+		if len(res.Exceptions) != 0 {
+			t.Fatalf("seed %d: %v", seed, res.Exceptions)
+		}
+		if got != "abc" {
+			t.Fatalf("seed %d: appended %q", seed, got)
+		}
+	}
+}

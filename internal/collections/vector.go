@@ -1,0 +1,210 @@
+package collections
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/conc"
+)
+
+// Vector models java.util.Vector as of JDK 1.1: every public method is
+// synchronized on the vector's own monitor, but the Enumeration returned by
+// Elements reads elementCount and elementData with no synchronization at
+// all — the JDK 1.1 idiom the paper's vector benchmark exercises, giving
+// real races that are benign (the enumeration bounds every index by the
+// count it just observed, so no exception is ever thrown; it may simply
+// observe a stale snapshot).
+type Vector struct {
+	name         string
+	mon          *conc.Mutex
+	elementData  *conc.Array[int]
+	elementCount *conc.IntVar
+}
+
+// NewVector allocates an empty Vector.
+func NewVector(t *conc.Thread, name string) *Vector {
+	return &Vector{
+		name:         name,
+		mon:          conc.NewMutex(t, name+".monitor"),
+		elementData:  conc.NewArray[int](t, name+".elementData", defaultCap),
+		elementCount: conc.NewIntVar(t, name+".elementCount", 0),
+	}
+}
+
+// AddElement appends v (synchronized).
+func (v *Vector) AddElement(t *conc.Thread, e int) {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	if n >= v.elementData.Len() {
+		v.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: %s", ErrCapacityExceeded, v.name))
+	}
+	v.elementData.Set(t, n, e)
+	v.elementCount.Set(t, n+1)
+	v.mon.Unlock(t)
+}
+
+// Add implements Collection.
+func (v *Vector) Add(t *conc.Thread, e int) bool {
+	v.AddElement(t, e)
+	return true
+}
+
+// RemoveElement deletes one occurrence of e (synchronized).
+func (v *Vector) RemoveElement(t *conc.Thread, e int) bool {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	for i := 0; i < n; i++ {
+		if v.elementData.Get(t, i) == e {
+			for j := i; j < n-1; j++ {
+				v.elementData.Set(t, j, v.elementData.Get(t, j+1))
+			}
+			v.elementCount.Set(t, n-1)
+			v.mon.Unlock(t)
+			return true
+		}
+	}
+	v.mon.Unlock(t)
+	return false
+}
+
+// Remove implements Collection.
+func (v *Vector) Remove(t *conc.Thread, e int) bool { return v.RemoveElement(t, e) }
+
+// Contains reports membership (synchronized).
+func (v *Vector) Contains(t *conc.Thread, e int) bool {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	found := false
+	for i := 0; i < n && !found; i++ {
+		if v.elementData.Get(t, i) == e {
+			found = true
+		}
+	}
+	v.mon.Unlock(t)
+	return found
+}
+
+// ElementAt returns the element at index i (synchronized).
+func (v *Vector) ElementAt(t *conc.Thread, i int) int {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	if i < 0 || i >= n {
+		v.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: index %d, count %d", ErrIndexOutOfBounds, i, n))
+	}
+	e := v.elementData.Get(t, i)
+	v.mon.Unlock(t)
+	return e
+}
+
+// Size returns the element count (synchronized).
+func (v *Vector) Size(t *conc.Thread) int {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	v.mon.Unlock(t)
+	return n
+}
+
+// Clear empties the vector (synchronized).
+func (v *Vector) Clear(t *conc.Thread) {
+	v.mon.Lock(t)
+	v.elementCount.Set(t, 0)
+	v.mon.Unlock(t)
+}
+
+// Iterator implements Collection by returning the unsynchronized
+// Enumeration — matching how pre-1.2 code iterated Vectors.
+func (v *Vector) Iterator(t *conc.Thread) Iterator { return v.Elements(t) }
+
+// Elements returns a JDK 1.1-style Enumeration: it reads elementCount and
+// elementData WITHOUT the vector's monitor. Every such read races with the
+// synchronized mutators (real races), but each index is bounded by the count
+// observed in the same call, so the enumeration never throws — the benign
+// real races of the paper's vector row.
+func (v *Vector) Elements(t *conc.Thread) *VectorEnumeration {
+	return &VectorEnumeration{vec: v}
+}
+
+// VectorEnumeration is the unsynchronized enumeration.
+type VectorEnumeration struct {
+	vec    *Vector
+	cursor int
+}
+
+// HasNext (hasMoreElements) reads elementCount unsynchronized.
+func (e *VectorEnumeration) HasNext(t *conc.Thread) bool {
+	return e.cursor < e.vec.elementCount.Get(t)
+}
+
+// Next (nextElement) reads elementCount and elementData unsynchronized.
+func (e *VectorEnumeration) Next(t *conc.Thread) int {
+	n := e.vec.elementCount.Get(t)
+	if e.cursor >= n {
+		throwNSE(t, e.vec.name)
+	}
+	v := e.vec.elementData.Get(t, e.cursor)
+	e.cursor++
+	return v
+}
+
+// Remove is unsupported on Enumerations.
+func (e *VectorEnumeration) Remove(t *conc.Thread) {
+	t.Throw(fmt.Errorf("%w: Enumeration does not support remove", ErrIllegalState))
+}
+
+// FirstElement returns element 0 (NoSuchElementException when empty).
+func (v *Vector) FirstElement(t *conc.Thread) int {
+	v.mon.Lock(t)
+	if v.elementCount.Get(t) == 0 {
+		v.mon.Unlock(t)
+		throwNSE(t, v.name)
+	}
+	e := v.elementData.Get(t, 0)
+	v.mon.Unlock(t)
+	return e
+}
+
+// LastElement returns the last element (NoSuchElementException when empty).
+func (v *Vector) LastElement(t *conc.Thread) int {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	if n == 0 {
+		v.mon.Unlock(t)
+		throwNSE(t, v.name)
+	}
+	e := v.elementData.Get(t, n-1)
+	v.mon.Unlock(t)
+	return e
+}
+
+// SetElementAt replaces element i (synchronized).
+func (v *Vector) SetElementAt(t *conc.Thread, e, i int) {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	if i < 0 || i >= n {
+		v.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: setElementAt(%d), count %d", ErrIndexOutOfBounds, i, n))
+	}
+	v.elementData.Set(t, i, e)
+	v.mon.Unlock(t)
+}
+
+// InsertElementAt inserts e at index i, shifting the tail (synchronized).
+func (v *Vector) InsertElementAt(t *conc.Thread, e, i int) {
+	v.mon.Lock(t)
+	n := v.elementCount.Get(t)
+	if i < 0 || i > n {
+		v.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: insertElementAt(%d), count %d", ErrIndexOutOfBounds, i, n))
+	}
+	if n >= v.elementData.Len() {
+		v.mon.Unlock(t)
+		t.Throw(fmt.Errorf("%w: %s", ErrCapacityExceeded, v.name))
+	}
+	for j := n; j > i; j-- {
+		v.elementData.Set(t, j, v.elementData.Get(t, j-1))
+	}
+	v.elementData.Set(t, i, e)
+	v.elementCount.Set(t, n+1)
+	v.mon.Unlock(t)
+}

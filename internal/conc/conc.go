@@ -1,0 +1,167 @@
+// Package conc is the model-program API: the vocabulary benchmark programs
+// are written in. It plays the role the instrumented Java bytecode plays in
+// the paper — every shared-variable access and synchronization operation is
+// routed through the deterministic scheduler (internal/sched) and labeled
+// with a statement identity, so phase 1 can report potentially racing
+// statement pairs and phase 2 can target them.
+//
+// The primitives mirror Java's concurrency vocabulary: shared variables
+// (fields), arrays, reentrant monitor locks with wait/notify, fork/join,
+// plus the barrier and latch idioms the Java Grande benchmarks use.
+package conc
+
+import (
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/sched"
+)
+
+// Thread aliases sched.Thread: model code receives its current thread
+// explicitly (Java's implicit "current thread" made visible).
+type Thread = sched.Thread
+
+// Var is an instrumented shared variable holding a value of type T. Every
+// Get/Set parks at the scheduler and emits a MEM event, so two Vars accesses
+// from different threads can be detected — and, by RaceFuzzer, actively
+// scheduled — to race.
+type Var[T any] struct {
+	loc  event.MemLoc
+	name string
+	val  T
+}
+
+// NewVar allocates a shared variable with a debug name and initial value.
+func NewVar[T any](t *Thread, name string, init T) *Var[T] {
+	return &Var[T]{loc: t.Scheduler().NewLoc(name), name: name, val: init}
+}
+
+// Loc returns the variable's dynamic memory location.
+func (v *Var[T]) Loc() event.MemLoc { return v.loc }
+
+// Name returns the variable's debug name.
+func (v *Var[T]) Name() string { return v.name }
+
+// Get reads the variable; the statement label is the caller's file:line.
+func (v *Var[T]) Get(t *Thread) T {
+	t.MemRead(v.loc, event.CallerStmt(1))
+	return v.val
+}
+
+// GetAt reads the variable at an explicit statement label.
+func (v *Var[T]) GetAt(t *Thread, stmt event.Stmt) T {
+	t.MemRead(v.loc, stmt)
+	return v.val
+}
+
+// Set writes the variable; the statement label is the caller's file:line.
+func (v *Var[T]) Set(t *Thread, val T) {
+	t.MemWrite(v.loc, event.CallerStmt(1))
+	v.val = val
+}
+
+// SetAt writes the variable at an explicit statement label.
+func (v *Var[T]) SetAt(t *Thread, stmt event.Stmt, val T) {
+	t.MemWrite(v.loc, stmt)
+	v.val = val
+}
+
+// Peek returns the current value without an instrumented access. For
+// assertions in test harnesses only — never in model-program logic.
+func (v *Var[T]) Peek() T { return v.val }
+
+// IntVar is a shared integer with read-modify-write helpers.
+type IntVar struct{ Var[int] }
+
+// NewIntVar allocates a shared integer.
+func NewIntVar(t *Thread, name string, init int) *IntVar {
+	return &IntVar{Var[int]{loc: t.Scheduler().NewLoc(name), name: name, val: init}}
+}
+
+// Add performs v += d as Java compiles it: a read event followed by a write
+// event at the same statement — the classic lost-update racing pattern.
+func (v *IntVar) Add(t *Thread, d int) int {
+	stmt := event.CallerStmt(1)
+	t.MemRead(v.loc, stmt)
+	x := v.val
+	t.MemWrite(v.loc, stmt)
+	v.val = x + d
+	return x + d
+}
+
+// AddAt is Add with an explicit statement label.
+func (v *IntVar) AddAt(t *Thread, stmt event.Stmt, d int) int {
+	t.MemRead(v.loc, stmt)
+	x := v.val
+	t.MemWrite(v.loc, stmt)
+	v.val = x + d
+	return x + d
+}
+
+// Array is an instrumented shared array with one dynamic memory location per
+// element, so accesses to distinct indices do not conflict (exactly the
+// "different dynamic shared memory locations" situation Algorithm 1 keeps
+// postponing on).
+type Array[T any] struct {
+	base event.MemLoc
+	name string
+	vals []T
+}
+
+// NewArray allocates an n-element shared array.
+func NewArray[T any](t *Thread, name string, n int) *Array[T] {
+	s := t.Scheduler()
+	a := &Array[T]{name: name, vals: make([]T, n)}
+	for i := 0; i < n; i++ {
+		loc := s.NewLoc(name + "[" + itoa(i) + "]")
+		if i == 0 {
+			a.base = loc
+		}
+	}
+	return a
+}
+
+// Len returns the array length.
+func (a *Array[T]) Len() int { return len(a.vals) }
+
+// LocOf returns element i's memory location.
+func (a *Array[T]) LocOf(i int) event.MemLoc { return a.base + event.MemLoc(i) }
+
+// Get reads element i.
+func (a *Array[T]) Get(t *Thread, i int) T {
+	t.MemRead(a.LocOf(i), event.CallerStmt(1))
+	return a.vals[i]
+}
+
+// GetAt reads element i at an explicit statement label.
+func (a *Array[T]) GetAt(t *Thread, stmt event.Stmt, i int) T {
+	t.MemRead(a.LocOf(i), stmt)
+	return a.vals[i]
+}
+
+// Set writes element i.
+func (a *Array[T]) Set(t *Thread, i int, val T) {
+	t.MemWrite(a.LocOf(i), event.CallerStmt(1))
+	a.vals[i] = val
+}
+
+// SetAt writes element i at an explicit statement label.
+func (a *Array[T]) SetAt(t *Thread, stmt event.Stmt, i int, val T) {
+	t.MemWrite(a.LocOf(i), stmt)
+	a.vals[i] = val
+}
+
+// Peek returns element i without instrumentation (harness assertions only).
+func (a *Array[T]) Peek(i int) T { return a.vals[i] }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,176 @@
+package conc
+
+import "racefuzzer/internal/event"
+
+// Higher-level synchronizers built from the monitor primitives, the way
+// java.util.concurrent builds on Object monitors. Everything is fully
+// instrumented: their internal state lives in Vars and their blocking in
+// monitor waits, so the detectors see — and RaceFuzzer can direct — every
+// interleaving inside them.
+
+// RWLock is a readers–writer lock: any number of readers or one writer.
+// Writers are not prioritized (a steady reader stream can starve a writer,
+// as with unfair Java read-write locks).
+type RWLock struct {
+	m       *Mutex
+	readers *IntVar
+	writer  *Var[bool]
+}
+
+// NewRWLock allocates a readers–writer lock.
+func NewRWLock(t *Thread, name string) *RWLock {
+	return &RWLock{
+		m:       NewMutex(t, name+".monitor"),
+		readers: NewIntVar(t, name+".readers", 0),
+		writer:  NewVar(t, name+".writer", false),
+	}
+}
+
+// RLock acquires shared (read) access.
+func (l *RWLock) RLock(t *Thread) {
+	l.m.Lock(t)
+	for l.writer.Get(t) {
+		l.m.Wait(t)
+	}
+	l.readers.Add(t, 1)
+	l.m.Unlock(t)
+}
+
+// RUnlock releases shared access.
+func (l *RWLock) RUnlock(t *Thread) {
+	l.m.Lock(t)
+	if l.readers.Add(t, -1) == 0 {
+		l.m.NotifyAll(t)
+	}
+	l.m.Unlock(t)
+}
+
+// Lock acquires exclusive (write) access.
+func (l *RWLock) Lock(t *Thread) {
+	l.m.Lock(t)
+	for l.writer.Get(t) || l.readers.Get(t) > 0 {
+		l.m.Wait(t)
+	}
+	l.writer.Set(t, true)
+	l.m.Unlock(t)
+}
+
+// Unlock releases exclusive access.
+func (l *RWLock) Unlock(t *Thread) {
+	l.m.Lock(t)
+	l.writer.Set(t, false)
+	l.m.NotifyAll(t)
+	l.m.Unlock(t)
+}
+
+// Semaphore is a counting semaphore (java.util.concurrent.Semaphore).
+type Semaphore struct {
+	m       *Mutex
+	permits *IntVar
+}
+
+// NewSemaphore allocates a semaphore with the given permits.
+func NewSemaphore(t *Thread, name string, permits int) *Semaphore {
+	return &Semaphore{
+		m:       NewMutex(t, name+".monitor"),
+		permits: NewIntVar(t, name+".permits", permits),
+	}
+}
+
+// Acquire takes one permit, blocking while none are available.
+func (s *Semaphore) Acquire(t *Thread) {
+	s.m.Lock(t)
+	for s.permits.Get(t) <= 0 {
+		s.m.Wait(t)
+	}
+	s.permits.Add(t, -1)
+	s.m.Unlock(t)
+}
+
+// TryAcquire takes a permit if one is available, without blocking.
+func (s *Semaphore) TryAcquire(t *Thread) bool {
+	s.m.Lock(t)
+	ok := s.permits.Get(t) > 0
+	if ok {
+		s.permits.Add(t, -1)
+	}
+	s.m.Unlock(t)
+	return ok
+}
+
+// Release returns one permit, waking a blocked acquirer.
+func (s *Semaphore) Release(t *Thread) {
+	s.m.Lock(t)
+	s.permits.Add(t, 1)
+	s.m.Notify(t)
+	s.m.Unlock(t)
+}
+
+// Available returns the current permit count (racy by nature, like Java's
+// availablePermits — for monitoring only).
+func (s *Semaphore) Available(t *Thread) int {
+	return s.permits.Get(t)
+}
+
+// BoundedQueue is a fixed-capacity FIFO of ints with blocking Put/Take — the
+// ArrayBlockingQueue of the model world, and the producer/consumer substrate
+// several benchmark models use.
+type BoundedQueue struct {
+	m     *Mutex
+	buf   *Array[int]
+	head  *IntVar
+	size  *IntVar
+	cap   int
+	stmtP event.Stmt
+	stmtT event.Stmt
+}
+
+// NewBoundedQueue allocates a queue with the given capacity.
+func NewBoundedQueue(t *Thread, name string, capacity int) *BoundedQueue {
+	return &BoundedQueue{
+		m:     NewMutex(t, name+".monitor"),
+		buf:   NewArray[int](t, name+".buf", capacity),
+		head:  NewIntVar(t, name+".head", 0),
+		size:  NewIntVar(t, name+".size", 0),
+		cap:   capacity,
+		stmtP: event.StmtFor(name + ".Put"),
+		stmtT: event.StmtFor(name + ".Take"),
+	}
+}
+
+// Put appends v, blocking while the queue is full.
+func (q *BoundedQueue) Put(t *Thread, v int) {
+	q.m.Lock(t)
+	for q.size.Get(t) == q.cap {
+		q.m.Wait(t)
+	}
+	h := q.head.Get(t)
+	n := q.size.Get(t)
+	q.buf.SetAt(t, q.stmtP, (h+n)%q.cap, v)
+	q.size.Set(t, n+1)
+	q.m.NotifyAll(t)
+	q.m.Unlock(t)
+}
+
+// Take removes and returns the oldest element, blocking while empty.
+func (q *BoundedQueue) Take(t *Thread) int {
+	q.m.Lock(t)
+	for q.size.Get(t) == 0 {
+		q.m.Wait(t)
+	}
+	h := q.head.Get(t)
+	v := q.buf.GetAt(t, q.stmtT, h)
+	q.head.Set(t, (h+1)%q.cap)
+	q.size.Add(t, -1)
+	q.m.NotifyAll(t)
+	q.m.Unlock(t)
+	return v
+}
+
+// Size returns the current element count (under the queue's lock).
+func (q *BoundedQueue) Size(t *Thread) int {
+	q.m.Lock(t)
+	n := q.size.Get(t)
+	q.m.Unlock(t)
+	return n
+}

@@ -1,0 +1,142 @@
+package conc
+
+import (
+	"racefuzzer/internal/event"
+)
+
+// Mutex is a reentrant monitor lock with Java semantics: the same object
+// provides mutual exclusion (Lock/Unlock) and a condition wait set
+// (Wait/Notify/NotifyAll), like a Java object's monitor.
+type Mutex struct {
+	id   event.LockID
+	name string
+}
+
+// NewMutex allocates a monitor lock.
+func NewMutex(t *Thread, name string) *Mutex {
+	return &Mutex{id: t.Scheduler().NewLock(name), name: name}
+}
+
+// ID returns the lock's identity.
+func (m *Mutex) ID() event.LockID { return m.id }
+
+// Name returns the lock's debug name.
+func (m *Mutex) Name() string { return m.name }
+
+// Lock acquires the monitor (reentrant).
+func (m *Mutex) Lock(t *Thread) { t.LockAcquire(m.id, event.CallerStmt(1)) }
+
+// Unlock releases one level of the monitor. Releasing a monitor the thread
+// does not hold throws IllegalMonitorStateException (a model exception).
+func (m *Mutex) Unlock(t *Thread) { t.LockRelease(m.id, event.CallerStmt(1)) }
+
+// Sync runs body while holding the monitor — Java's synchronized block. The
+// unlock runs even if body throws? No: like Java, an uncaught exception
+// unwinds the thread, and the scheduler force-releases monitors of dying
+// threads; Sync does not recover model exceptions.
+func (m *Mutex) Sync(t *Thread, body func()) {
+	t.LockAcquire(m.id, event.CallerStmt(1))
+	body()
+	t.LockRelease(m.id, event.CallerStmt(1))
+}
+
+// Wait performs monitor wait: releases the monitor in full, joins the wait
+// set, and reacquires after a Notify/NotifyAll. No spurious wakeups (the
+// model is deterministic); no timeout variant.
+func (m *Mutex) Wait(t *Thread) { t.MonitorWait(m.id, event.CallerStmt(1)) }
+
+// Notify wakes one waiting thread (scheduler-RNG choice), if any.
+func (m *Mutex) Notify(t *Thread) { t.MonitorNotify(m.id, event.CallerStmt(1)) }
+
+// NotifyAll wakes all waiting threads.
+func (m *Mutex) NotifyAll(t *Thread) { t.MonitorNotifyAll(m.id, event.CallerStmt(1)) }
+
+// Barrier is a cyclic barrier in the style of the Java Grande kernels:
+// the last arriving thread releases the others via NotifyAll. Arrival and
+// generation counters are instrumented variables guarded by the barrier's
+// monitor, so the barrier itself is race-free by construction.
+type Barrier struct {
+	m       *Mutex
+	parties int
+	arrived *IntVar
+	gen     *IntVar
+}
+
+// NewBarrier allocates a barrier for the given number of parties.
+func NewBarrier(t *Thread, name string, parties int) *Barrier {
+	return &Barrier{
+		m:       NewMutex(t, name+".lock"),
+		parties: parties,
+		arrived: NewIntVar(t, name+".arrived", 0),
+		gen:     NewIntVar(t, name+".gen", 0),
+	}
+}
+
+// Await blocks until all parties have arrived, then resets for reuse.
+func (b *Barrier) Await(t *Thread) {
+	b.m.Lock(t)
+	gen := b.gen.Get(t)
+	n := b.arrived.Add(t, 1)
+	if n == b.parties {
+		b.arrived.Set(t, 0)
+		b.gen.Set(t, gen+1)
+		b.m.NotifyAll(t)
+	} else {
+		for b.gen.Get(t) == gen {
+			b.m.Wait(t)
+		}
+	}
+	b.m.Unlock(t)
+}
+
+// Latch is a CountDownLatch: Await blocks until the count reaches zero.
+type Latch struct {
+	m     *Mutex
+	count *IntVar
+}
+
+// NewLatch allocates a latch with the given initial count.
+func NewLatch(t *Thread, name string, count int) *Latch {
+	return &Latch{
+		m:     NewMutex(t, name+".lock"),
+		count: NewIntVar(t, name+".count", count),
+	}
+}
+
+// CountDown decrements the latch, releasing waiters at zero.
+func (l *Latch) CountDown(t *Thread) {
+	l.m.Lock(t)
+	n := l.count.Add(t, -1)
+	if n <= 0 {
+		l.m.NotifyAll(t)
+	}
+	l.m.Unlock(t)
+}
+
+// Await blocks until the latch reaches zero.
+func (l *Latch) Await(t *Thread) {
+	l.m.Lock(t)
+	for l.count.Get(t) > 0 {
+		l.m.Wait(t)
+	}
+	l.m.Unlock(t)
+}
+
+// ForkN forks n children named prefix-i running body(i) and returns their
+// handles; JoinAll joins them. Together they express the ubiquitous
+// fork-join skeleton of the benchmark programs.
+func ForkN(t *Thread, prefix string, n int, body func(t *Thread, i int)) []*Thread {
+	kids := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		i := i
+		kids[i] = t.Fork(prefix+"-"+itoa(i), func(c *Thread) { body(c, i) })
+	}
+	return kids
+}
+
+// JoinAll joins every thread in kids.
+func JoinAll(t *Thread, kids []*Thread) {
+	for _, k := range kids {
+		t.Join(k)
+	}
+}

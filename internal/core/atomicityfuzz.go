@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/atomizer"
+	"racefuzzer/internal/sched"
+)
+
+// The atomicity instantiation of active testing (§1): phase 1 infers
+// intended-atomic read-modify-write blocks and their potential interferers
+// (internal/atomizer); phase 2 directs the scheduler to interleave an
+// interferer inside the block.
+
+// DetectAtomicityTargets is the atomicity phase 1: observe Phase1Trials
+// random executions and union the inferred candidates.
+func DetectAtomicityTargets(prog Program, o Options) []AtomicityTarget {
+	o = o.withDefaults()
+	seen := make(map[string]bool)
+	var out []AtomicityTarget
+	for i := 0; i < o.Phase1Trials; i++ {
+		det := atomizer.New()
+		sched.Run(prog, sched.Config{
+			Seed:      o.Seed + int64(i),
+			Policy:    sched.NewRandomPolicy(),
+			Observers: []sched.Observer{det},
+			MaxSteps:  o.MaxSteps,
+		})
+		for _, c := range det.Candidates() {
+			key := fmt.Sprintf("%d/%d", c.First, c.Second)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, AtomicityTarget{
+				First: c.First, Second: c.Second, Interferers: c.Interferers,
+			})
+		}
+	}
+	return out
+}
+
+// AtomicityReport is the phase-2 verdict for one target.
+type AtomicityReport struct {
+	Target AtomicityTarget
+	// Trials is the number of directed executions.
+	Trials int
+	// ViolationRuns counts trials in which an interferer was actually
+	// interleaved inside the block.
+	ViolationRuns int
+	// Probability = ViolationRuns / Trials.
+	Probability float64
+	// IsReal reports whether any trial created the violation.
+	IsReal bool
+	// ExceptionRuns counts violating trials that also threw.
+	ExceptionRuns int
+	// FirstSeed replays a violating run (0 if none).
+	FirstSeed int64
+}
+
+func (a AtomicityReport) String() string {
+	verdict := "NOT CONFIRMED"
+	if a.IsReal {
+		verdict = "REAL VIOLATION"
+	}
+	return fmt.Sprintf("block %s..%s: %s, p=%.2f (%d/%d runs, %d threw)",
+		a.Target.First, a.Target.Second, verdict, a.Probability, a.ViolationRuns, a.Trials, a.ExceptionRuns)
+}
+
+// ConfirmAtomicity is the atomicity phase 2.
+func ConfirmAtomicity(prog Program, target AtomicityTarget, targetIndex int, o Options) AtomicityReport {
+	o = o.withDefaults()
+	rep := AtomicityReport{Target: target, Trials: o.Phase2Trials}
+	for i := 0; i < o.Phase2Trials; i++ {
+		seed := pairSeed(o.Seed, targetIndex+9_000_000, i)
+		pol := NewAtomicityDirectedPolicy(target)
+		pol.MaxPostponeAge = o.MaxPostponeAge
+		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps})
+		if len(pol.Violations()) > 0 {
+			rep.ViolationRuns++
+			if rep.FirstSeed == 0 {
+				rep.FirstSeed = seed
+			}
+			if len(res.Exceptions) > 0 {
+				rep.ExceptionRuns++
+			}
+		}
+	}
+	rep.IsReal = rep.ViolationRuns > 0
+	rep.Probability = float64(rep.ViolationRuns) / float64(rep.Trials)
+	return rep
+}
+
+// AnalyzeAtomicity runs the full atomicity pipeline.
+func AnalyzeAtomicity(prog Program, o Options) []AtomicityReport {
+	targets := DetectAtomicityTargets(prog, o)
+	out := make([]AtomicityReport, 0, len(targets))
+	for i, tg := range targets {
+		out = append(out, ConfirmAtomicity(prog, tg, i, o))
+	}
+	return out
+}

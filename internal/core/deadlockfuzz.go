@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/deadlock"
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/sched"
+)
+
+// The deadlock instantiation of active testing (§1): phase 1 predicts
+// potential deadlocks from lock-order-graph cycles; phase 2 confirms them by
+// directing the scheduler to complete each cycle. This mirrors the
+// race pipeline exactly — cycle warnings play the role of racing pairs, the
+// DeadlockDirectedPolicy plays the role of RaceFuzzerPolicy, and a real
+// deadlock reported by the scheduler is the confirmation.
+
+// DetectPotentialDeadlocks is the deadlock phase 1: observe Phase1Trials
+// random executions with the lock-order-graph detector and union the cycles.
+func DetectPotentialDeadlocks(prog Program, o Options) []deadlock.Cycle {
+	return DetectPotentialDeadlocksWithPolicy(prog, o, nil)
+}
+
+// DetectPotentialDeadlocksWithPolicy is DetectPotentialDeadlocks under an
+// explicit observation policy (nil = random). The graph analysis is
+// predictive: cycles are found even in executions that never deadlock.
+func DetectPotentialDeadlocksWithPolicy(prog Program, o Options, pol sched.Policy) []deadlock.Cycle {
+	o = o.withDefaults()
+	type key struct{ a, b event.LockID }
+	union := make(map[key]deadlock.Cycle)
+	var order []key
+	for i := 0; i < o.Phase1Trials; i++ {
+		det := deadlock.New()
+		p := pol
+		if p == nil {
+			p = sched.NewRandomPolicy()
+		}
+		sched.Run(prog, sched.Config{
+			Seed:      o.Seed + int64(i),
+			Policy:    p,
+			Observers: []sched.Observer{det},
+			MaxSteps:  o.MaxSteps,
+		})
+		for _, c := range det.Cycles() {
+			k := key{c.Locks[0], c.Locks[1]}
+			if _, ok := union[k]; !ok {
+				union[k] = c
+				order = append(order, k)
+			}
+		}
+	}
+	out := make([]deadlock.Cycle, 0, len(order))
+	for _, k := range order {
+		out = append(out, union[k])
+	}
+	return out
+}
+
+// DeadlockReport is the phase-2 verdict for one potential cycle.
+type DeadlockReport struct {
+	Cycle deadlock.Cycle
+	// Trials is the number of directed executions.
+	Trials int
+	// DeadlockRuns is the number that ended in a real deadlock on the
+	// cycle's locks.
+	DeadlockRuns int
+	// Probability = DeadlockRuns / Trials.
+	Probability float64
+	// IsReal reports whether any trial created the deadlock.
+	IsReal bool
+	// FirstSeed replays a deadlocking run (0 if none).
+	FirstSeed int64
+}
+
+func (d DeadlockReport) String() string {
+	verdict := "NOT CONFIRMED"
+	if d.IsReal {
+		verdict = "REAL DEADLOCK"
+	}
+	return fmt.Sprintf("locks %s/%s: %s, p=%.2f (%d/%d runs)",
+		d.Cycle.Locks[0], d.Cycle.Locks[1], verdict, d.Probability, d.DeadlockRuns, d.Trials)
+}
+
+// ConfirmDeadlock is the deadlock phase 2: Phase2Trials executions under a
+// DeadlockDirectedPolicy focused on the cycle's lock pair.
+func ConfirmDeadlock(prog Program, cycle deadlock.Cycle, cycleIndex int, o Options) DeadlockReport {
+	o = o.withDefaults()
+	rep := DeadlockReport{Cycle: cycle, Trials: o.Phase2Trials}
+	target := [2]event.LockID{cycle.Locks[0], cycle.Locks[1]}
+	for i := 0; i < o.Phase2Trials; i++ {
+		seed := pairSeed(o.Seed, cycleIndex+7_000_000, i)
+		pol := NewDeadlockDirectedPolicy()
+		pol.TargetLocks = &target
+		pol.MaxPostponeAge = o.MaxPostponeAge
+		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps})
+		if res.Deadlock != nil && deadlockInvolves(res.Deadlock, target) {
+			rep.DeadlockRuns++
+			if rep.FirstSeed == 0 {
+				rep.FirstSeed = seed
+			}
+		}
+	}
+	rep.IsReal = rep.DeadlockRuns > 0
+	rep.Probability = float64(rep.DeadlockRuns) / float64(rep.Trials)
+	return rep
+}
+
+// deadlockInvolves reports whether a detected deadlock includes a thread
+// blocked on either target lock (so an unrelated deadlock elsewhere in the
+// program does not confirm this cycle).
+func deadlockInvolves(d *sched.DeadlockInfo, target [2]event.LockID) bool {
+	for _, b := range d.Blocked {
+		if b.Lock == target[0] || b.Lock == target[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzeDeadlocks runs the full deadlock pipeline.
+func AnalyzeDeadlocks(prog Program, o Options) []DeadlockReport {
+	cycles := DetectPotentialDeadlocks(prog, o)
+	out := make([]DeadlockReport, 0, len(cycles))
+	for i, c := range cycles {
+		out = append(out, ConfirmDeadlock(prog, c, i, o))
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/sched"
+)
+
+// gatedAbbaProgram nests the ABBA pattern under a common gate lock: the
+// lock-order graph shows opposite edges, but the gate makes the deadlock
+// infeasible — a phase-1 false positive the gate rule must suppress.
+func gatedAbbaProgram() Program {
+	return func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		gate := s.NewLock("G")
+		l1 := s.NewLock("L1")
+		l2 := s.NewLock("L2")
+		a := mt.Fork("a", func(c *sched.Thread) {
+			c.LockAcquire(gate, event.StmtFor("gdl:a0"))
+			c.LockAcquire(l1, event.StmtFor("gdl:a1"))
+			c.LockAcquire(l2, event.StmtFor("gdl:a2"))
+			c.LockRelease(l2, event.StmtFor("gdl:a3"))
+			c.LockRelease(l1, event.StmtFor("gdl:a4"))
+			c.LockRelease(gate, event.StmtFor("gdl:a5"))
+		})
+		b := mt.Fork("b", func(c *sched.Thread) {
+			c.LockAcquire(gate, event.StmtFor("gdl:b0"))
+			c.LockAcquire(l2, event.StmtFor("gdl:b1"))
+			c.LockAcquire(l1, event.StmtFor("gdl:b2"))
+			c.LockRelease(l1, event.StmtFor("gdl:b3"))
+			c.LockRelease(l2, event.StmtFor("gdl:b4"))
+			c.LockRelease(gate, event.StmtFor("gdl:b5"))
+		})
+		mt.Join(a)
+		mt.Join(b)
+	}
+}
+
+func TestDeadlockPipelineConfirmsABBA(t *testing.T) {
+	opts := Options{Seed: 5, Phase1Trials: 6, Phase2Trials: 30}
+	cycles := DetectPotentialDeadlocks(abbaProgram(), opts)
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v, want 1", cycles)
+	}
+	rep := ConfirmDeadlock(abbaProgram(), cycles[0], 0, opts)
+	if !rep.IsReal {
+		t.Fatalf("ABBA not confirmed: %v", rep)
+	}
+	if rep.Probability < 0.9 {
+		t.Fatalf("confirmation probability %.2f, want ≈1 (directed)", rep.Probability)
+	}
+	// Replay: the recorded seed must deadlock again.
+	target := [2]event.LockID{cycles[0].Locks[0], cycles[0].Locks[1]}
+	pol := NewDeadlockDirectedPolicy()
+	pol.TargetLocks = &target
+	res := sched.Run(abbaProgram(), sched.Config{Seed: rep.FirstSeed, Policy: pol})
+	if res.Deadlock == nil {
+		t.Fatalf("replay of seed %d did not deadlock", rep.FirstSeed)
+	}
+}
+
+func TestDeadlockPipelineRefutesGatedCycle(t *testing.T) {
+	opts := Options{Seed: 9, Phase1Trials: 6, Phase2Trials: 30}
+	cycles := DetectPotentialDeadlocks(gatedAbbaProgram(), opts)
+	// The gate rule already suppresses the warning in phase 1.
+	if len(cycles) != 0 {
+		t.Fatalf("gated cycle reported in phase 1: %v", cycles)
+	}
+	// Even when forced (construct the cycle by hand), phase 2 cannot create
+	// the deadlock: the gate serializes the nested sections.
+	reps := AnalyzeDeadlocks(gatedAbbaProgram(), opts)
+	if len(reps) != 0 {
+		t.Fatalf("reports on a gated program: %v", reps)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		pol := NewDeadlockDirectedPolicy() // unfocused: postpone every nesting
+		pol.MaxPostponeAge = 100
+		res := sched.Run(gatedAbbaProgram(), sched.Config{Seed: seed, Policy: pol})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: directed scheduling deadlocked a gate-protected program", seed)
+		}
+		if res.Aborted {
+			t.Fatalf("seed %d: aborted", seed)
+		}
+	}
+}
+
+func TestDeadlockPipelineEndToEnd(t *testing.T) {
+	reps := AnalyzeDeadlocks(abbaProgram(), Options{Seed: 21, Phase1Trials: 6, Phase2Trials: 20})
+	if len(reps) != 1 || !reps[0].IsReal {
+		t.Fatalf("reports = %v", reps)
+	}
+	if reps[0].String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestDeadlockPhase1NeedsTheBadInterleavingNot(t *testing.T) {
+	// Phase 1 predicts the ABBA cycle even from executions that do NOT
+	// deadlock (that is what makes it predictive): run under the sequential
+	// policy, which always completes, and still find the cycle.
+	det := func() []event.LockID { return nil }
+	_ = det
+	opts := Options{Seed: 3, Phase1Trials: 1}
+	// Sequential runs thread a fully, then b: both edge directions observed,
+	// no deadlock occurs.
+	cycles := DetectPotentialDeadlocksWithPolicy(abbaProgram(), opts, sched.SequentialPolicy{})
+	if len(cycles) != 1 {
+		t.Fatalf("cycles from non-deadlocking run = %v", cycles)
+	}
+}

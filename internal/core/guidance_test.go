@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/sched"
+)
+
+// abbaProgram is the classic two-lock deadlock candidate.
+func abbaProgram() Program {
+	return func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		l1 := s.NewLock("L1")
+		l2 := s.NewLock("L2")
+		a := mt.Fork("a", func(c *sched.Thread) {
+			c.LockAcquire(l1, event.StmtFor("dl:a1"))
+			c.Nop(event.StmtFor("dl:a-work"))
+			c.LockAcquire(l2, event.StmtFor("dl:a2"))
+			c.LockRelease(l2, event.StmtFor("dl:a3"))
+			c.LockRelease(l1, event.StmtFor("dl:a4"))
+		})
+		b := mt.Fork("b", func(c *sched.Thread) {
+			c.LockAcquire(l2, event.StmtFor("dl:b1"))
+			c.Nop(event.StmtFor("dl:b-work"))
+			c.LockAcquire(l1, event.StmtFor("dl:b2"))
+			c.LockRelease(l1, event.StmtFor("dl:b3"))
+			c.LockRelease(l2, event.StmtFor("dl:b4"))
+		})
+		mt.Join(a)
+		mt.Join(b)
+	}
+}
+
+func TestDeadlockDirectedPolicyCreatesDeadlockReliably(t *testing.T) {
+	// Random scheduling hits the ABBA deadlock only sometimes; the
+	// deadlock-directed policy should create it in (nearly) every run.
+	directed, random := 0, 0
+	const trials = 40
+	for i := int64(0); i < trials; i++ {
+		res := sched.Run(abbaProgram(), sched.Config{Seed: 100 + i, Policy: NewDeadlockDirectedPolicy()})
+		if res.Deadlock != nil {
+			directed++
+		}
+		res = sched.Run(abbaProgram(), sched.Config{Seed: 100 + i, Policy: sched.NewRandomPolicy()})
+		if res.Deadlock != nil {
+			random++
+		}
+	}
+	if directed < trials*9/10 {
+		t.Fatalf("directed policy created the deadlock in only %d/%d runs", directed, trials)
+	}
+	if directed <= random {
+		t.Fatalf("directed (%d) not better than random (%d)", directed, random)
+	}
+}
+
+func TestDeadlockDirectedPolicyTerminatesWithoutCycle(t *testing.T) {
+	// A program with nested locks but a consistent order can never deadlock;
+	// the policy's postponements must not wedge it.
+	prog := func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		l1 := s.NewLock("L1")
+		l2 := s.NewLock("L2")
+		body := func(c *sched.Thread) {
+			c.LockAcquire(l1, event.StmtFor("ord:1"))
+			c.LockAcquire(l2, event.StmtFor("ord:2"))
+			c.LockRelease(l2, event.StmtFor("ord:3"))
+			c.LockRelease(l1, event.StmtFor("ord:4"))
+		}
+		a := mt.Fork("a", body)
+		b := mt.Fork("b", body)
+		mt.Join(a)
+		mt.Join(b)
+	}
+	for i := int64(0); i < 20; i++ {
+		pol := NewDeadlockDirectedPolicy()
+		pol.MaxPostponeAge = 50
+		res := sched.Run(prog, sched.Config{Seed: i, Policy: pol})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: false deadlock on consistently ordered locks: %v", i, res.Deadlock)
+		}
+		if res.Aborted {
+			t.Fatalf("seed %d: wedged", i)
+		}
+	}
+}
+
+func TestDeadlockDirectedPolicyTargetFocus(t *testing.T) {
+	// With TargetLocks set to an unrelated pair, the ABBA locks are never
+	// postponed, so the deadlock arises only as often as under plain random.
+	prog := func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		l1 := s.NewLock("L1")
+		l2 := s.NewLock("L2")
+		unrelated := s.NewLock("L3")
+		_ = unrelated
+		a := mt.Fork("a", func(c *sched.Thread) {
+			c.LockAcquire(l1, event.StmtFor("tf:a1"))
+			c.LockAcquire(l2, event.StmtFor("tf:a2"))
+			c.LockRelease(l2, event.StmtFor("tf:a3"))
+			c.LockRelease(l1, event.StmtFor("tf:a4"))
+		})
+		mt.Join(a)
+	}
+	pol := NewDeadlockDirectedPolicy()
+	pol.TargetLocks = &[2]event.LockID{5, 6} // not the program's locks
+	res := sched.Run(prog, sched.Config{Seed: 3, Policy: pol})
+	if res.Deadlock != nil || res.Aborted {
+		t.Fatalf("focused policy disturbed an unrelated program: %+v", res)
+	}
+}
+
+// atomicityProgram: the victim reads a counter, then (intended atomically)
+// writes it back incremented; the interferer writes the counter in between.
+func atomicityProgram(firstS, secondS, interS event.Stmt, observed *int) Program {
+	return func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		loc := s.NewLoc("balance")
+		balance := 100
+		victim := mt.Fork("victim", func(c *sched.Thread) {
+			c.MemRead(loc, firstS) // first half of the atomic block
+			v := balance
+			c.MemWrite(loc, secondS) // second half
+			balance = v + 10
+		})
+		inter := mt.Fork("interferer", func(c *sched.Thread) {
+			c.MemWrite(loc, interS)
+			balance = 0
+		})
+		mt.Join(victim)
+		mt.Join(inter)
+		*observed = balance
+	}
+}
+
+func TestAtomicityDirectedPolicyCreatesViolation(t *testing.T) {
+	firstS := event.StmtFor("atom:read")
+	secondS := event.StmtFor("atom:write")
+	interS := event.StmtFor("atom:interfere")
+	target := AtomicityTarget{First: firstS, Second: secondS, Interferers: []event.Stmt{interS}}
+
+	violated, lost := 0, 0
+	const trials = 40
+	for i := int64(0); i < trials; i++ {
+		var balance int
+		pol := NewAtomicityDirectedPolicy(target)
+		res := sched.Run(atomicityProgram(firstS, secondS, interS, &balance),
+			sched.Config{Seed: 500 + i, Policy: pol})
+		if res.Deadlock != nil || res.Aborted {
+			t.Fatalf("seed %d: bad run %+v", i, res)
+		}
+		if len(pol.Violations()) > 0 {
+			violated++
+			v := pol.Violations()[0]
+			if v.Victim == v.Interferer {
+				t.Fatalf("degenerate violation: %v", v)
+			}
+			// The lost update: the interferer's write vanished.
+			if balance == 110 {
+				lost++
+			}
+		}
+	}
+	if violated < trials*3/4 {
+		t.Fatalf("violation created in only %d/%d runs", violated, trials)
+	}
+	if lost == 0 {
+		t.Fatal("the violation never manifested as a lost update")
+	}
+}
+
+func TestRAPOSTerminatesAndBatches(t *testing.T) {
+	for i := int64(0); i < 10; i++ {
+		var final int
+		pol := NewRAPOSPolicy()
+		prog := func(mt *sched.Thread) {
+			s := mt.Scheduler()
+			locks := []event.LockID{s.NewLock("A"), s.NewLock("B")}
+			locs := []event.MemLoc{s.NewLoc("x"), s.NewLoc("y")}
+			kids := []*sched.Thread{}
+			for w := 0; w < 4; w++ {
+				w := w
+				kids = append(kids, mt.Fork("w", func(c *sched.Thread) {
+					for j := 0; j < 5; j++ {
+						c.LockAcquire(locks[w%2], event.StmtFor("rp:acq"))
+						c.MemWrite(locs[w%2], event.StmtFor("rp:write"))
+						final++
+						c.LockRelease(locks[w%2], event.StmtFor("rp:rel"))
+					}
+				}))
+			}
+			for _, k := range kids {
+				mt.Join(k)
+			}
+		}
+		res := sched.Run(prog, sched.Config{Seed: i, Policy: pol})
+		if res.Deadlock != nil || res.Aborted {
+			t.Fatalf("seed %d: %+v", i, res)
+		}
+		if final != 20 {
+			t.Fatalf("seed %d: %d writes, want 20", i, final)
+		}
+		batches, grants := pol.Stats()
+		if grants < batches {
+			t.Fatalf("stats inverted: %d grants, %d batches", grants, batches)
+		}
+		if grants == batches {
+			t.Fatalf("seed %d: RAPOS never batched independent ops", i)
+		}
+	}
+}
+
+func TestRAPOSExploresBothRaceOrders(t *testing.T) {
+	a := event.StmtFor("rpo:w1")
+	b := event.StmtFor("rpo:w2")
+	firstWins, secondWins := 0, 0
+	for i := int64(0); i < 60; i++ {
+		order := 0
+		prog := func(mt *sched.Thread) {
+			loc := mt.Scheduler().NewLoc("x")
+			t1 := mt.Fork("t1", func(c *sched.Thread) {
+				c.MemWrite(loc, a)
+				if order == 0 {
+					order = 1
+				}
+			})
+			t2 := mt.Fork("t2", func(c *sched.Thread) {
+				c.MemWrite(loc, b)
+				if order == 0 {
+					order = 2
+				}
+			})
+			mt.Join(t1)
+			mt.Join(t2)
+		}
+		sched.Run(prog, sched.Config{Seed: 900 + i, Policy: NewRAPOSPolicy()})
+		if order == 1 {
+			firstWins++
+		} else {
+			secondWins++
+		}
+	}
+	if firstWins == 0 || secondWins == 0 {
+		t.Fatalf("RAPOS is order-biased: %d vs %d", firstWins, secondWins)
+	}
+}

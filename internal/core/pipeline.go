@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/hybrid"
+	"racefuzzer/internal/sched"
+)
+
+// Program is a model program: the body of its main thread. Everything the
+// program does must go through the conc/sched instrumentation API.
+type Program func(*sched.Thread)
+
+// Options parameterizes the two-phase pipeline.
+type Options struct {
+	// Seed is the base seed; trial i uses Seed + i (phase 1) or a derived
+	// per-pair stream (phase 2), so campaigns are fully reproducible.
+	Seed int64
+	// Phase1Trials is the number of random-scheduler executions observed by
+	// the hybrid detector; their pair sets are unioned. Default 3.
+	Phase1Trials int
+	// Phase2Trials is the number of RaceFuzzer executions per potential pair
+	// (the paper uses 100 to estimate the hit probability). Default 100.
+	Phase2Trials int
+	// MaxSteps bounds each execution (0 = sched.DefaultMaxSteps).
+	MaxSteps int
+	// MaxPostponeAge configures the livelock monitor (see RaceFuzzerPolicy).
+	MaxPostponeAge int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Phase1Trials <= 0 {
+		o.Phase1Trials = 3
+	}
+	if o.Phase2Trials <= 0 {
+		o.Phase2Trials = 100
+	}
+	return o
+}
+
+// pairSeed derives the seed of phase-2 trial i for pair index pi.
+func pairSeed(base int64, pi, i int) int64 {
+	return base + int64(pi)*1_000_003 + int64(i)*7_919 + 1
+}
+
+// DetectPotentialRaces is phase 1: run the program under the simple random
+// scheduler with the hybrid detector attached and union the potentially
+// racing statement pairs over the trials.
+func DetectPotentialRaces(prog Program, o Options) []event.StmtPair {
+	o = o.withDefaults()
+	union := make(map[event.StmtPair]bool)
+	for i := 0; i < o.Phase1Trials; i++ {
+		det := hybrid.New()
+		sched.Run(prog, sched.Config{
+			Seed:      o.Seed + int64(i),
+			Policy:    sched.NewRandomPolicy(),
+			Observers: []sched.Observer{det},
+			MaxSteps:  o.MaxSteps,
+		})
+		for _, p := range det.Pairs() {
+			union[p] = true
+		}
+	}
+	out := make([]event.StmtPair, 0, len(union))
+	for p := range union {
+		out = append(out, p)
+	}
+	event.SortStmtPairs(out)
+	return out
+}
+
+// RunReport is the outcome of one phase-2 execution.
+type RunReport struct {
+	Seed        int64
+	Result      *sched.Result
+	Races       []RealRace
+	RaceCreated bool
+}
+
+// FuzzRun is one phase-2 execution: run prog under RaceFuzzer targeting
+// pair with the given seed. Re-invoking with the same arguments replays the
+// identical execution — the paper's lightweight replay.
+func FuzzRun(prog Program, pair event.StmtPair, seed int64, o Options) *RunReport {
+	pol := &RaceFuzzerPolicy{Target: pair, MaxPostponeAge: o.MaxPostponeAge}
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+		Name: fmt.Sprintf("racefuzzer%v", pair),
+	})
+	return &RunReport{Seed: seed, Result: res, Races: pol.Races(), RaceCreated: pol.RaceCreated()}
+}
+
+// Replay re-executes a prior FuzzRun from its seed. It is literally FuzzRun
+// — the function exists to make the replay feature explicit in the API.
+func Replay(prog Program, pair event.StmtPair, seed int64, o Options) *RunReport {
+	return FuzzRun(prog, pair, seed, o)
+}
+
+// PairReport aggregates the phase-2 trials for one potential pair: whether
+// the race is real, the estimated probability of creating it (Table 1,
+// column 11), and whether resolving it randomly exposed exceptions or
+// deadlocks (columns 9 and the §5.3 bug reports).
+type PairReport struct {
+	Pair   event.StmtPair
+	Trials int
+	// RaceRuns is the number of trials in which a real race was created.
+	RaceRuns int
+	// Probability = RaceRuns / Trials.
+	Probability float64
+	// IsReal reports whether any trial created the race.
+	IsReal bool
+	// ExceptionRuns counts trials in which a real race was created and a
+	// model exception was subsequently thrown — the evidence that the race
+	// is harmful, not benign.
+	ExceptionRuns int
+	// ExceptionKinds lists distinct exception messages observed after races.
+	ExceptionKinds []string
+	// DeadlockRuns counts trials ending in a real deadlock.
+	DeadlockRuns int
+	// FirstRaceSeed and FirstExceptionSeed replay a race-creating and an
+	// exception-throwing trial (0 when none occurred).
+	FirstRaceSeed      int64
+	FirstExceptionSeed int64
+}
+
+func (p PairReport) String() string {
+	verdict := "NOT CONFIRMED"
+	if p.IsReal {
+		verdict = "REAL RACE"
+	}
+	s := fmt.Sprintf("%s: %s, p=%.2f (%d/%d runs)", p.Pair, verdict, p.Probability, p.RaceRuns, p.Trials)
+	if p.ExceptionRuns > 0 {
+		s += fmt.Sprintf(", %d runs threw (%s)", p.ExceptionRuns, strings.Join(p.ExceptionKinds, "; "))
+	}
+	if p.DeadlockRuns > 0 {
+		s += fmt.Sprintf(", %d deadlocks", p.DeadlockRuns)
+	}
+	return s
+}
+
+// FuzzPair runs phase 2 for one pair: Phase2Trials independent RaceFuzzer
+// executions with derived seeds. pairIndex salts the seed stream so pairs
+// explore different schedules.
+func FuzzPair(prog Program, pair event.StmtPair, pairIndex int, o Options) PairReport {
+	o = o.withDefaults()
+	rep := PairReport{Pair: pair, Trials: o.Phase2Trials}
+	kinds := make(map[string]bool)
+	for i := 0; i < o.Phase2Trials; i++ {
+		seed := pairSeed(o.Seed, pairIndex, i)
+		run := FuzzRun(prog, pair, seed, o)
+		if run.RaceCreated {
+			rep.RaceRuns++
+			if rep.FirstRaceSeed == 0 {
+				rep.FirstRaceSeed = seed
+			}
+			if len(run.Result.Exceptions) > 0 {
+				rep.ExceptionRuns++
+				if rep.FirstExceptionSeed == 0 {
+					rep.FirstExceptionSeed = seed
+				}
+				for _, ex := range run.Result.Exceptions {
+					kinds[exceptionKind(ex)] = true
+				}
+			}
+		}
+		if run.Result.Deadlock != nil {
+			rep.DeadlockRuns++
+		}
+	}
+	rep.IsReal = rep.RaceRuns > 0
+	rep.Probability = float64(rep.RaceRuns) / float64(rep.Trials)
+	for k := range kinds {
+		rep.ExceptionKinds = append(rep.ExceptionKinds, k)
+	}
+	sort.Strings(rep.ExceptionKinds)
+	return rep
+}
+
+// exceptionKind reduces an exception to its class-like prefix, so distinct
+// instances of e.g. ConcurrentModificationException count once.
+func exceptionKind(ex sched.Exception) string {
+	msg := ex.Err.Error()
+	if i := strings.IndexByte(msg, ':'); i > 0 {
+		return msg[:i]
+	}
+	return msg
+}
+
+// SetReport aggregates a multi-pair campaign (FuzzSet): one set of runs
+// targeting the union of several warnings at once.
+type SetReport struct {
+	Pairs  []event.StmtPair
+	Trials int
+	// ConfirmedRuns counts, per warning pair, the runs that created a race
+	// attributed to it. Cross-pair races (both statements in the RaceSet but
+	// from different warnings) are tallied under their own synthesized pair.
+	ConfirmedRuns map[event.StmtPair]int
+	// ExceptionRuns counts runs that created some race and then threw.
+	ExceptionRuns int
+}
+
+// Confirmed returns the warning pairs confirmed real, in deterministic order.
+func (s SetReport) Confirmed() []event.StmtPair {
+	var out []event.StmtPair
+	for p, n := range s.ConfirmedRuns {
+		if n > 0 {
+			out = append(out, p)
+		}
+	}
+	event.SortStmtPairs(out)
+	return out
+}
+
+// FuzzSet runs a single campaign whose RaceSet is the union of pairs — the
+// CalFuzzer-style batched mode: cheaper than one campaign per pair, at some
+// loss of per-pair directedness (threads postponed for one warning can
+// perturb another's window).
+func FuzzSet(prog Program, pairs []event.StmtPair, o Options) SetReport {
+	o = o.withDefaults()
+	rep := SetReport{Pairs: pairs, Trials: o.Phase2Trials, ConfirmedRuns: make(map[event.StmtPair]int)}
+	for i := 0; i < o.Phase2Trials; i++ {
+		seed := pairSeed(o.Seed, 3_000_000, i)
+		pol := NewRaceFuzzerSetPolicy(pairs)
+		pol.MaxPostponeAge = o.MaxPostponeAge
+		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps})
+		seen := make(map[event.StmtPair]bool)
+		for _, rr := range pol.Races() {
+			if !seen[rr.Target] {
+				seen[rr.Target] = true
+				rep.ConfirmedRuns[rr.Target]++
+			}
+		}
+		if pol.RaceCreated() && len(res.Exceptions) > 0 {
+			rep.ExceptionRuns++
+		}
+	}
+	return rep
+}
+
+// Report is the full two-phase outcome for one program.
+type Report struct {
+	Potential []event.StmtPair
+	Pairs     []PairReport
+}
+
+// RealPairs returns the confirmed real races.
+func (r *Report) RealPairs() []PairReport {
+	var out []PairReport
+	for _, p := range r.Pairs {
+		if p.IsReal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RealCount returns the number of confirmed real racing pairs (Table 1,
+// column 7).
+func (r *Report) RealCount() int { return len(r.RealPairs()) }
+
+// ExceptionPairCount returns the number of racing pairs whose random
+// resolution threw an exception (Table 1, column 9).
+func (r *Report) ExceptionPairCount() int {
+	n := 0
+	for _, p := range r.Pairs {
+		if p.IsReal && p.ExceptionRuns > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanProbability averages the hit probability over real pairs (Table 1,
+// column 11 reports this per benchmark).
+func (r *Report) MeanProbability() float64 {
+	real := r.RealPairs()
+	if len(real) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range real {
+		sum += p.Probability
+	}
+	return sum / float64(len(real))
+}
+
+// Analyze runs the complete pipeline: phase 1, then phase 2 for every
+// reported pair.
+func Analyze(prog Program, o Options) *Report {
+	o = o.withDefaults()
+	rep := &Report{Potential: DetectPotentialRaces(prog, o)}
+	for i, pair := range rep.Potential {
+		rep.Pairs = append(rep.Pairs, FuzzPair(prog, pair, i, o))
+	}
+	return rep
+}

@@ -1,0 +1,137 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStmtInterning(t *testing.T) {
+	a := StmtFor("pkg/file.go:10")
+	b := StmtFor("pkg/file.go:10")
+	c := StmtFor("pkg/file.go:11")
+	if a != b {
+		t.Fatal("same name interned to different Stmts")
+	}
+	if a == c {
+		t.Fatal("different names interned to same Stmt")
+	}
+	if a.Name() != "pkg/file.go:10" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if NoStmt.Name() != "" || NoStmt.String() != "<unlabeled>" {
+		t.Fatal("NoStmt rendering wrong")
+	}
+}
+
+func TestCallerStmt(t *testing.T) {
+	s := CallerStmt(0)
+	if !strings.Contains(s.Name(), "event_test.go") {
+		t.Fatalf("CallerStmt = %q, want this file", s.Name())
+	}
+	// Two calls on different lines must differ.
+	s2 := CallerStmt(0)
+	if s == s2 {
+		t.Fatal("different lines share a Stmt")
+	}
+}
+
+func TestStmtPairNormalization(t *testing.T) {
+	a, b := StmtFor("pair:a"), StmtFor("pair:b")
+	p1 := MakeStmtPair(a, b)
+	p2 := MakeStmtPair(b, a)
+	if p1 != p2 {
+		t.Fatal("pair not normalized")
+	}
+	if !p1.Contains(a) || !p1.Contains(b) {
+		t.Fatal("Contains wrong")
+	}
+	if p1.Contains(StmtFor("pair:c")) {
+		t.Fatal("spurious Contains")
+	}
+	if p1.Other(a) != b || p1.Other(b) != a {
+		t.Fatal("Other wrong")
+	}
+	if p1.Other(StmtFor("pair:d")) != NoStmt {
+		t.Fatal("Other on non-member must be NoStmt")
+	}
+	self := MakeStmtPair(a, a)
+	if !self.Contains(a) || self.Other(a) != a {
+		t.Fatal("self-pair semantics wrong")
+	}
+	if NoStmt != StmtFor("") {
+		t.Fatal("empty name must intern to NoStmt")
+	}
+	if p1.Contains(NoStmt) {
+		t.Fatal("pair contains NoStmt")
+	}
+}
+
+func TestQuickPairSymmetry(t *testing.T) {
+	f := func(x, y uint16) bool {
+		a := StmtFor("q:" + string(rune('a'+x%26)) + itoa(int(x)))
+		b := StmtFor("q:" + string(rune('a'+y%26)) + itoa(int(y)))
+		p, q := MakeStmtPair(a, b), MakeStmtPair(b, a)
+		return p == q && p.A <= p.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(i int) string {
+	digits := "0123456789"
+	if i == 0 {
+		return "0"
+	}
+	s := ""
+	for i > 0 {
+		s = string(digits[i%10]) + s
+		i /= 10
+	}
+	return s
+}
+
+func TestSortStmtPairsDeterministic(t *testing.T) {
+	a, b, c := StmtFor("sort:a"), StmtFor("sort:b"), StmtFor("sort:c")
+	ps := []StmtPair{MakeStmtPair(c, b), MakeStmtPair(a, c), MakeStmtPair(a, b)}
+	SortStmtPairs(ps)
+	if ps[0] != MakeStmtPair(a, b) || ps[1] != MakeStmtPair(a, c) || ps[2] != MakeStmtPair(b, c) {
+		t.Fatalf("sorted = %v", ps)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: KindMem, Thread: 1, Stmt: StmtFor("s:x"), Loc: 3, Access: Write, Locks: []LockID{0}}, "MEM"},
+		{Event{Kind: KindSnd, Thread: 2, Msg: 7}, "SND(g7"},
+		{Event{Kind: KindRcv, Thread: 2, Msg: 7}, "RCV(g7"},
+		{Event{Kind: KindLock, Thread: 0, Lock: 4}, "LOCK(L4"},
+		{Event{Kind: KindUnlock, Thread: 0, Lock: 4}, "UNLOCK(L4"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String() = %q, want contains %q", got, c.want)
+		}
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	if ThreadID(3).String() != "T3" || NoThread.String() != "T?" {
+		t.Fatal("ThreadID strings")
+	}
+	if LockID(2).String() != "L2" || MemLoc(5).String() != "m5" {
+		t.Fatal("Lock/MemLoc strings")
+	}
+	if Read.String() != "READ" || Write.String() != "WRITE" {
+		t.Fatal("AccessKind strings")
+	}
+	for _, k := range []Kind{KindMem, KindSnd, KindRcv, KindLock, KindUnlock} {
+		if k.String() == "" {
+			t.Fatal("Kind string empty")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/report"
+)
+
+// Verify checks a measured row against its model's designed ground truth
+// (bench.Expect) and returns human-readable violations (empty = pass). It is
+// the CLI-facing twin of the test suite's TestBenchmarkExpectations: the
+// reproduction's "column 7 equals column 8" check.
+func Verify(b bench.Benchmark, row Row) []string {
+	var out []string
+	e := b.Expect
+	if row.Potential < e.MinPotential {
+		out = append(out, fmt.Sprintf("potential %d < min %d", row.Potential, e.MinPotential))
+	}
+	if row.Real < e.MinReal {
+		out = append(out, fmt.Sprintf("real %d < min %d", row.Real, e.MinReal))
+	}
+	if e.MaxReal >= 0 && row.Real > e.MaxReal {
+		out = append(out, fmt.Sprintf("real %d > max %d", row.Real, e.MaxReal))
+	}
+	if row.Real > row.Potential {
+		out = append(out, fmt.Sprintf("real %d exceeds potential %d", row.Real, row.Potential))
+	}
+	if row.ExceptionPairs < e.MinExceptionPairs {
+		out = append(out, fmt.Sprintf("exception pairs %d < min %d", row.ExceptionPairs, e.MinExceptionPairs))
+	}
+	if e.MaxExceptionPairs >= 0 && row.ExceptionPairs > e.MaxExceptionPairs {
+		out = append(out, fmt.Sprintf("exception pairs %d > max %d", row.ExceptionPairs, e.MaxExceptionPairs))
+	}
+	if row.Real > 0 && row.Probability < e.MinProbability {
+		out = append(out, fmt.Sprintf("probability %.2f < min %.2f", row.Probability, e.MinProbability))
+	}
+	return out
+}
+
+// VerifyAll verifies every row, rendering a pass/fail report.
+func VerifyAll(rows []Row) (string, bool) {
+	var b strings.Builder
+	ok := true
+	for _, row := range rows {
+		bm, found := bench.ByName(row.Name)
+		if !found {
+			fmt.Fprintf(&b, "%-12s ???  unknown benchmark\n", row.Name)
+			ok = false
+			continue
+		}
+		if violations := Verify(bm, row); len(violations) > 0 {
+			ok = false
+			fmt.Fprintf(&b, "%-12s FAIL %s\n", row.Name, strings.Join(violations, "; "))
+		} else {
+			fmt.Fprintf(&b, "%-12s PASS\n", row.Name)
+		}
+	}
+	return b.String(), ok
+}
+
+// CSVTable1 renders measured rows as CSV (for plotting tools).
+func CSVTable1(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("program,normal_s,hybrid_s,rf_s,tracked_hybrid,tracked_rf,potential,real,exception_pairs,simple_exceptions,probability\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s\n",
+			r.Name, report.Secs(r.NormalSec), report.Secs(r.HybridSec), report.Secs(r.RFSec),
+			r.HybridTracked, r.RFTracked,
+			r.Potential, r.Real, r.ExceptionPairs, r.SimpleExceptions, report.Num(r.Probability))
+	}
+	return b.String()
+}
+
+// CSVFigure2 renders the sweep as CSV.
+func CSVFigure2(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("prefix_len,racefuzzer_prob,rf_error_frac,simple_random_prob,default_prob\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f,%.3f\n",
+			p.PrefixLen, p.RFProb, p.RFErrorFrac, p.SimpleProb, p.DefaultProb)
+	}
+	return b.String()
+}

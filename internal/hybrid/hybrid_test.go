@@ -1,0 +1,206 @@
+package hybrid
+
+import (
+	"testing"
+
+	"racefuzzer/internal/event"
+)
+
+// feed builds an event stream directly — the detector is a pure function of
+// the stream, so these tests pin the hybrid race condition precisely.
+
+func mem(t event.ThreadID, stmt string, loc event.MemLoc, w bool, locks ...event.LockID) event.Event {
+	a := event.Read
+	if w {
+		a = event.Write
+	}
+	return event.Event{Kind: event.KindMem, Thread: t, Stmt: event.StmtFor(stmt), Loc: loc, Access: a, Locks: locks}
+}
+
+func snd(t event.ThreadID, g event.MsgID) event.Event {
+	return event.Event{Kind: event.KindSnd, Thread: t, Msg: g}
+}
+
+func rcv(t event.ThreadID, g event.MsgID) event.Event {
+	return event.Event{Kind: event.KindRcv, Thread: t, Msg: g}
+}
+
+func run(events ...event.Event) *Detector {
+	d := New()
+	for _, e := range events {
+		d.OnEvent(e)
+	}
+	return d
+}
+
+func pairOf(a, b string) event.StmtPair {
+	return event.MakeStmtPair(event.StmtFor(a), event.StmtFor(b))
+}
+
+func TestWriteWriteRaceDetected(t *testing.T) {
+	d := run(
+		mem(0, "h:w1", 1, true),
+		mem(1, "h:w2", 1, true),
+	)
+	ps := d.Pairs()
+	if len(ps) != 1 || ps[0] != pairOf("h:w1", "h:w2") {
+		t.Fatalf("pairs = %v", ps)
+	}
+	if d.MemEvents() != 2 {
+		t.Fatalf("mem events = %d", d.MemEvents())
+	}
+}
+
+func TestReadReadIsNotARace(t *testing.T) {
+	d := run(
+		mem(0, "h:r1", 1, false),
+		mem(1, "h:r2", 1, false),
+	)
+	if len(d.Pairs()) != 0 {
+		t.Fatalf("read-read reported: %v", d.Pairs())
+	}
+}
+
+func TestSameThreadIsNotARace(t *testing.T) {
+	d := run(
+		mem(0, "h:a", 1, true),
+		mem(0, "h:b", 1, true),
+	)
+	if len(d.Pairs()) != 0 {
+		t.Fatalf("same-thread accesses reported: %v", d.Pairs())
+	}
+}
+
+func TestDifferentLocationsNoRace(t *testing.T) {
+	d := run(
+		mem(0, "h:a", 1, true),
+		mem(1, "h:b", 2, true),
+	)
+	if len(d.Pairs()) != 0 {
+		t.Fatalf("different locations reported: %v", d.Pairs())
+	}
+}
+
+func TestCommonLockSuppressesRace(t *testing.T) {
+	d := run(
+		mem(0, "h:la", 1, true, 5),
+		mem(1, "h:lb", 1, true, 5),
+	)
+	if len(d.Pairs()) != 0 {
+		t.Fatalf("lock-protected accesses reported: %v", d.Pairs())
+	}
+	// Disjoint locksets still race.
+	d2 := run(
+		mem(0, "h:lc", 1, true, 5),
+		mem(1, "h:ld", 1, true, 6),
+	)
+	if len(d2.Pairs()) != 1 {
+		t.Fatalf("disjoint locksets not reported: %v", d2.Pairs())
+	}
+}
+
+func TestHappensBeforeSuppressesRace(t *testing.T) {
+	// T0 writes, then sends g1; T1 receives g1 and writes: ordered.
+	d := run(
+		mem(0, "h:hb-w0", 1, true),
+		snd(0, 1),
+		rcv(1, 1),
+		mem(1, "h:hb-w1", 1, true),
+	)
+	if len(d.Pairs()) != 0 {
+		t.Fatalf("fork-ordered accesses reported: %v", d.Pairs())
+	}
+	// Without the message, the same accesses race.
+	d2 := run(
+		mem(0, "h:hb-w0b", 1, true),
+		mem(1, "h:hb-w1b", 1, true),
+	)
+	if len(d2.Pairs()) != 1 {
+		t.Fatal("unordered accesses not reported")
+	}
+}
+
+func TestTransitiveHappensBefore(t *testing.T) {
+	// T0 → T1 → T2 chain: T0's write ordered before T2's write through T1.
+	d := run(
+		mem(0, "h:t0", 1, true),
+		snd(0, 1),
+		rcv(1, 1),
+		snd(1, 2),
+		rcv(2, 2),
+		mem(2, "h:t2", 1, true),
+	)
+	if len(d.Pairs()) != 0 {
+		t.Fatalf("transitively ordered accesses reported: %v", d.Pairs())
+	}
+}
+
+func TestLockEdgesDoNotOrder(t *testing.T) {
+	// The hybrid relation deliberately ignores lock edges: a release→acquire
+	// chain does NOT order accesses (that's what makes it predictive).
+	d := run(
+		mem(0, "h:fw", 1, true), // write x with no lock held
+		event.Event{Kind: event.KindLock, Thread: 0, Lock: 9},
+		event.Event{Kind: event.KindUnlock, Thread: 0, Lock: 9},
+		event.Event{Kind: event.KindLock, Thread: 1, Lock: 9},
+		event.Event{Kind: event.KindUnlock, Thread: 1, Lock: 9},
+		mem(1, "h:fr", 1, false), // read x with no lock held
+	)
+	if len(d.Pairs()) != 1 {
+		t.Fatalf("hybrid should predict the Figure-1-style race: %v", d.Pairs())
+	}
+}
+
+func TestPairsAreDeduplicated(t *testing.T) {
+	var evs []event.Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, mem(0, "h:dw", 1, true), mem(1, "h:dr", 1, false))
+	}
+	d := run(evs...)
+	ps := d.Pairs()
+	if len(ps) != 1 {
+		t.Fatalf("pairs not deduplicated: %v", ps)
+	}
+	infos := d.Races()
+	if len(infos) != 1 || infos[0].Count < 10 {
+		t.Fatalf("race info = %+v", infos)
+	}
+}
+
+func TestSelfPairTwoThreadsSameStmt(t *testing.T) {
+	d := run(
+		mem(0, "h:same", 1, true),
+		mem(1, "h:same", 1, true),
+	)
+	ps := d.Pairs()
+	if len(ps) != 1 || ps[0] != pairOf("h:same", "h:same") {
+		t.Fatalf("self-pair = %v", ps)
+	}
+}
+
+func TestMaxHistoryBound(t *testing.T) {
+	d := New()
+	d.MaxHistoryPerLoc = 4
+	// Thread 0 writes many times; thread 1's final read must still race
+	// with at least one remembered write.
+	for i := 0; i < 50; i++ {
+		d.OnEvent(mem(0, "h:bw", 1, true))
+	}
+	d.OnEvent(mem(1, "h:br", 1, false))
+	if len(d.Pairs()) != 1 {
+		t.Fatalf("bounded history lost the race: %v", d.Pairs())
+	}
+}
+
+func TestWriteReadAndReadWriteBothDetected(t *testing.T) {
+	d := run(
+		mem(0, "h:x-read", 1, false),
+		mem(1, "h:x-write", 1, true), // read-then-write: race
+		mem(0, "h:y-write", 2, true),
+		mem(1, "h:y-read", 2, false), // write-then-read: race
+	)
+	ps := d.Pairs()
+	if len(ps) != 2 {
+		t.Fatalf("pairs = %v", ps)
+	}
+}

@@ -1,0 +1,101 @@
+// Package report renders experiment results as aligned text tables — the
+// medium in which this reproduction re-emits the paper's Table 1 and the
+// Figure-2 sweep. It is deliberately dependency-free: harness code builds
+// rows, this package formats them.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render returns the aligned table as a string.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Num formats a float compactly ("-" for negative sentinel values).
+func Num(f float64) string {
+	if f < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", f)
+}
+
+// Secs formats a duration in seconds with enough precision for sub-ms runs.
+func Secs(f float64) string {
+	if f < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", f)
+}
+
+// IntOrDash formats an int, with "-" for the -1 sentinel.
+func IntOrDash(n int) string {
+	if n < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
+}

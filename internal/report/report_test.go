@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value", "note")
+	tab.AddRow("alpha", 1, "short")
+	tab.AddRow("a-much-longer-name", 23456, "x")
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1") && !strings.Contains(lines[3], "alpha") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+	if !strings.Contains(out, "23456") {
+		t.Fatal("missing cell")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow(1)
+	if strings.HasPrefix(tab.Render(), "\n") {
+		t.Fatal("leading blank line with empty title")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Num(-1) != "-" || Num(0.5) != "0.50" {
+		t.Fatal("Num wrong")
+	}
+	if Secs(-1) != "-" || Secs(0.12345) != "0.1234" && Secs(0.12345) != "0.1235" {
+		t.Fatalf("Secs = %q", Secs(0.12345))
+	}
+	if IntOrDash(-1) != "-" || IntOrDash(7) != "7" {
+		t.Fatal("IntOrDash wrong")
+	}
+}

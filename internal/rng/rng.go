@@ -1,0 +1,98 @@
+// Package rng provides the deterministic pseudo-random number generator that
+// is the single source of nondeterminism in an execution. RaceFuzzer's
+// lightweight replay (§2.2 of the paper) depends on this: re-running with the
+// same seed reproduces every scheduling decision, so no event recording is
+// needed to replay a race-revealing execution.
+//
+// The generator is a SplitMix64 stream. It is implemented here rather than
+// taken from math/rand so the sequence is fully specified by this repository
+// and cannot drift across Go releases.
+package rng
+
+import "math/bits"
+
+// Rand is a deterministic PRNG. The zero value is NOT usable; construct one
+// with New.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds give independent-
+// looking streams; equal seeds give identical streams.
+func New(seed int64) *Rand {
+	r := &Rand{state: uint64(seed)}
+	// Scramble once so nearby seeds (0,1,2,…) diverge immediately.
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits (SplitMix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, bias-free.
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Bool returns a fair coin flip. This implements the paper's "if random
+// boolean" race resolution (Algorithm 1, line 11).
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Pick returns a uniformly chosen element of xs. It panics on an empty
+// slice; schedulers only call it with non-empty enabled sets.
+func Pick[T any](r *Rand, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](r *Rand, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Split returns a new generator whose stream is a deterministic function of
+// the parent's state but statistically independent of the parent's
+// subsequent output. Used to give subsystems (e.g. workload generators)
+// their own streams without coupling them to scheduling decisions.
+func (r *Rand) Split() *Rand {
+	return &Rand{state: r.Uint64() ^ 0xa5a5a5a5deadbeef}
+}

@@ -1,0 +1,167 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestIntnRangeAndCoverage(t *testing.T) {
+	r := New(7)
+	seen := make(map[int]int)
+	const n = 10
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < n; v++ {
+		if seen[v] < 700 || seen[v] > 1300 {
+			t.Fatalf("value %d drawn %d times out of 10000 — badly skewed", v, seen[v])
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolIsRoughlyFair(t *testing.T) {
+	r := New(11)
+	heads := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if heads < 4700 || heads > 5300 {
+		t.Fatalf("heads = %d / 10000", heads)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		size := int(n%50) + 1
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(3)
+	xs := []int{1, 2, 2, 3, 5, 8}
+	ys := append([]int(nil), xs...)
+	Shuffle(r, ys)
+	counts := map[int]int{}
+	for _, x := range xs {
+		counts[x]++
+	}
+	for _, y := range ys {
+		counts[y]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatalf("shuffle changed elements: %v -> %v", xs, ys)
+		}
+	}
+}
+
+func TestPickInBounds(t *testing.T) {
+	r := New(9)
+	xs := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[Pick(r, xs)]++
+	}
+	for _, s := range xs {
+		if counts[s] < 700 {
+			t.Fatalf("element %q drawn only %d times", s, counts[s])
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(100)
+	child := a.Split()
+	// Parent and child streams should not be identical.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream mirrors parent (%d/100 equal)", same)
+	}
+	// Splitting deterministically: same parent state → same child stream.
+	p1, p2 := New(55), New(55)
+	c1, c2 := p1.Split(), p2.Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("split is not deterministic")
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(77)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}

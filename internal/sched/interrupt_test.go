@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"racefuzzer/internal/rng"
+)
+
+func TestInterruptSetsFlagOnRunningThread(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		observed := false
+		cleared := false
+		prog := func(mt *Thread) {
+			worker := mt.Fork("worker", func(c *Thread) {
+				for i := 0; i < 20; i++ {
+					c.Nop(stmt("intr:spin"))
+					if c.IsInterrupted() {
+						observed = true
+						c.ClearInterrupt()
+						cleared = !c.IsInterrupted()
+						return
+					}
+				}
+			})
+			mt.Interrupt(worker)
+			mt.Join(worker)
+		}
+		res := Run(prog, Config{Seed: seed})
+		if res.Deadlock != nil || len(res.Exceptions) != 0 {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+		if !observed {
+			t.Fatalf("seed %d: interrupt never observed", seed)
+		}
+		if !cleared {
+			t.Fatalf("seed %d: ClearInterrupt did not clear", seed)
+		}
+	}
+}
+
+func TestInterruptWakesWaitingThreadWithException(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		prog := func(mt *Thread) {
+			lk := mt.Scheduler().NewLock("mon")
+			waiter := mt.Fork("waiter", func(c *Thread) {
+				c.LockAcquire(lk, stmt("iw:acq"))
+				c.MonitorWait(lk, stmt("iw:wait")) // nobody ever notifies
+				c.LockRelease(lk, stmt("iw:rel"))
+			})
+			// Let the waiter get into the wait set, then interrupt it.
+			for i := 0; i < 6; i++ {
+				mt.Nop(stmt("iw:delay"))
+			}
+			mt.Interrupt(waiter)
+			mt.Join(waiter)
+		}
+		res := Run(prog, Config{Seed: seed})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: deadlock %v", seed, res.Deadlock)
+		}
+		if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrInterruptedWait) {
+			t.Fatalf("seed %d: exceptions = %v, want InterruptedException from wait", seed, res.Exceptions)
+		}
+	}
+}
+
+func TestWaitEntersWithInterruptStatusThrowsImmediately(t *testing.T) {
+	prog := func(mt *Thread) {
+		lk := mt.Scheduler().NewLock("mon")
+		waiter := mt.Fork("waiter", func(c *Thread) {
+			// Busy-wait until interrupted status is set, then wait():
+			// Java throws immediately, clearing the flag.
+			for !c.IsInterrupted() {
+				c.Nop(stmt("wi:spin"))
+			}
+			c.LockAcquire(lk, stmt("wi:acq"))
+			c.MonitorWait(lk, stmt("wi:wait"))
+			c.LockRelease(lk, stmt("wi:rel")) // unreachable
+		})
+		mt.Interrupt(waiter)
+		mt.Join(waiter)
+	}
+	res := Run(prog, Config{Seed: 3})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrInterruptedWait) {
+		t.Fatalf("exceptions = %v", res.Exceptions)
+	}
+	if res.Deadlock != nil {
+		t.Fatalf("deadlock: %v (monitor not force-released after throw?)", res.Deadlock)
+	}
+}
+
+func TestInterruptDeadThreadIsNoop(t *testing.T) {
+	prog := func(mt *Thread) {
+		w := mt.Fork("w", func(c *Thread) {})
+		mt.Join(w)
+		mt.Interrupt(w) // already dead: must not blow up
+	}
+	res := Run(prog, Config{Seed: 1})
+	if res.Deadlock != nil || len(res.Exceptions) != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestInterruptRacesAreDetectable(t *testing.T) {
+	// The interrupt write and an IsInterrupted read race like any other pair
+	// of conflicting accesses: the witness policy must be able to see them
+	// co-pending. (Interrupt status is a first-class memory location.)
+	seen := false
+	probe := policyFunc(func(v *View, r *rng.Rand) Decision {
+		var ops []Op
+		for _, tid := range v.Enabled {
+			op := v.Op(tid)
+			if op.IsMem() || op.Kind == OpInterrupt {
+				ops = append(ops, op)
+			}
+		}
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				a, b := ops[i], ops[j]
+				// An OpInterrupt's write target is the other thread's flag;
+				// the co-pending IsInterrupted read appears as a MemRead.
+				if a.Kind == OpInterrupt && b.IsMem() || b.Kind == OpInterrupt && a.IsMem() {
+					seen = true
+				}
+			}
+		}
+		return Grant(v.Enabled[r.Intn(len(v.Enabled))])
+	})
+	prog := func(mt *Thread) {
+		w := mt.Fork("w", func(c *Thread) {
+			for i := 0; i < 10; i++ {
+				if c.IsInterrupted() {
+					return
+				}
+			}
+		})
+		mt.Interrupt(w)
+		mt.Join(w)
+	}
+	for seed := int64(0); seed < 20 && !seen; seed++ {
+		Run(prog, Config{Seed: seed, Policy: probe})
+	}
+	if !seen {
+		t.Fatal("interrupt ops never co-pending with flag reads")
+	}
+}
+
+func TestInterruptedWaiterStillNeedsTheLock(t *testing.T) {
+	// An interrupted waiter must reacquire the monitor before its wait
+	// throws: while the interrupter still holds the lock, the waiter stays
+	// blocked.
+	order := []string{}
+	prog := func(mt *Thread) {
+		lk := mt.Scheduler().NewLock("mon")
+		waiter := mt.Fork("waiter", func(c *Thread) {
+			c.LockAcquire(lk, stmt("rl:acq"))
+			c.MonitorWait(lk, stmt("rl:wait"))
+		})
+		for i := 0; i < 6; i++ {
+			mt.Nop(stmt("rl:delay"))
+		}
+		mt.LockAcquire(lk, stmt("rl:m-acq"))
+		mt.Interrupt(waiter)
+		order = append(order, "interrupted-under-lock")
+		mt.LockRelease(lk, stmt("rl:m-rel"))
+		mt.Join(waiter)
+		order = append(order, "joined")
+	}
+	res := Run(prog, Config{Seed: 2})
+	if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrInterruptedWait) {
+		t.Fatalf("exceptions = %v", res.Exceptions)
+	}
+	if len(order) != 2 || order[0] != "interrupted-under-lock" {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/event"
+)
+
+// OpKind enumerates the instrumented operations at which the scheduler
+// context-switches. Following §4 of the paper (and Musuvathi–Qadeer), thread
+// switches happen only before synchronization operations and tracked memory
+// accesses; everything a thread does between two ops runs atomically.
+type OpKind int
+
+const (
+	// OpBegin is the first (pseudo-)operation of every thread: the thread
+	// parks with OpBegin before running any user code, so the scheduler
+	// controls when the thread's body starts.
+	OpBegin OpKind = iota
+	// OpRead is a shared-memory read of Op.Loc.
+	OpRead
+	// OpWrite is a shared-memory write of Op.Loc.
+	OpWrite
+	// OpLock acquires the monitor lock Op.Lock (reentrant). The thread is
+	// disabled while another thread holds the lock.
+	OpLock
+	// OpUnlock releases one level of Op.Lock.
+	OpUnlock
+	// OpWaitEnter begins a monitor wait on Op.Lock: the lock is released in
+	// full (saving the recursion depth) and the thread moves to the monitor's
+	// wait set.
+	OpWaitEnter
+	// OpWaitResume completes a monitor wait: enabled only once the thread has
+	// been notified and the lock is free; on grant the lock is reacquired at
+	// the saved depth.
+	OpWaitResume
+	// OpNotify wakes one random thread from Op.Lock's wait set (no-op if the
+	// wait set is empty), emitting SND/RCV events when a thread is woken.
+	OpNotify
+	// OpNotifyAll wakes every thread in Op.Lock's wait set.
+	OpNotifyAll
+	// OpFork creates and starts a new thread running Op's fork body,
+	// emitting SND(parent)/RCV(child) events.
+	OpFork
+	// OpJoin blocks until thread Op.Target has terminated, emitting an RCV
+	// of the target's exit message.
+	OpJoin
+	// OpNop is an explicit scheduling point with no semantic effect. Model
+	// programs use it to represent untracked statements (e.g. the f1()…f5()
+	// calls of the paper's Figure 2) so that naive schedulers see a
+	// realistically long program.
+	OpNop
+	// OpInterrupt sets thread Op.Target's interrupt status (Java
+	// Thread.interrupt): a thread blocked in a monitor wait is woken and its
+	// wait throws InterruptedException after reacquiring the monitor; a
+	// running thread just gets its flag set, observed via IsInterrupted.
+	OpInterrupt
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpBegin:
+		return "begin"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpLock:
+		return "lock"
+	case OpUnlock:
+		return "unlock"
+	case OpWaitEnter:
+		return "wait-enter"
+	case OpWaitResume:
+		return "wait-resume"
+	case OpNotify:
+		return "notify"
+	case OpNotifyAll:
+		return "notifyAll"
+	case OpFork:
+		return "fork"
+	case OpJoin:
+		return "join"
+	case OpNop:
+		return "nop"
+	case OpInterrupt:
+		return "interrupt"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one pending operation: what a parked thread will do next if granted.
+// This is the scheduler's realization of the paper's NextStmt(s, t) — the
+// RaceFuzzer policy inspects pending Ops to decide postponement, and the
+// Racing() check compares the Loc/Access fields of two pending memory ops.
+type Op struct {
+	Kind   OpKind
+	Stmt   event.Stmt
+	Loc    event.MemLoc     // OpRead/OpWrite
+	Access event.AccessKind // OpRead/OpWrite (redundant with Kind; kept for symmetry)
+	Lock   event.LockID     // lock/unlock/wait/notify
+	Target event.ThreadID   // OpJoin
+
+	forkBody func(*Thread) // OpFork
+	forkName string        // OpFork
+}
+
+// IsMem reports whether the op is a tracked shared-memory access.
+func (o Op) IsMem() bool { return o.Kind == OpRead || o.Kind == OpWrite }
+
+// IsWrite reports whether the op writes shared memory.
+func (o Op) IsWrite() bool { return o.Kind == OpWrite }
+
+// ConflictsWith reports whether two pending memory operations would race if
+// executed temporally next to each other: same dynamic location and at least
+// one write. This is the body of the paper's Racing() function (Algorithm 2)
+// applied to a single candidate pair.
+func (o Op) ConflictsWith(p Op) bool {
+	return o.IsMem() && p.IsMem() && o.Loc == p.Loc && (o.IsWrite() || p.IsWrite())
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRead, OpWrite:
+		return fmt.Sprintf("%s %s @%s", o.Kind, o.Loc, o.Stmt)
+	case OpLock, OpUnlock, OpNotify, OpNotifyAll, OpWaitEnter, OpWaitResume:
+		return fmt.Sprintf("%s %s @%s", o.Kind, o.Lock, o.Stmt)
+	case OpJoin:
+		return fmt.Sprintf("join %s @%s", o.Target, o.Stmt)
+	case OpInterrupt:
+		return fmt.Sprintf("interrupt %s @%s", o.Target, o.Stmt)
+	case OpFork:
+		return fmt.Sprintf("fork %q @%s", o.forkName, o.Stmt)
+	default:
+		return o.Kind.String()
+	}
+}

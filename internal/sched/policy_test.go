@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"testing"
+
+	"racefuzzer/internal/event"
+)
+
+// quantumProbe records the order in which threads were granted.
+type grantRecorder struct {
+	grants []event.ThreadID
+}
+
+func (g *grantRecorder) OnEvent(e event.Event) {
+	if e.Kind == event.KindMem {
+		g.grants = append(g.grants, e.Thread)
+	}
+}
+
+// nopsProgram forks n workers that each perform k instrumented writes to
+// private locations (always enabled, no blocking).
+func nopsProgram(n, k int) func(*Thread) {
+	return func(mt *Thread) {
+		s := mt.Scheduler()
+		kids := make([]*Thread, n)
+		for i := 0; i < n; i++ {
+			loc := s.NewLoc("w")
+			kids[i] = mt.Fork("w", func(c *Thread) {
+				for j := 0; j < k; j++ {
+					c.MemWrite(loc, event.StmtFor("qp:w"))
+				}
+			})
+		}
+		for _, kid := range kids {
+			mt.Join(kid)
+		}
+	}
+}
+
+func TestQuantumPolicyRunsInSlices(t *testing.T) {
+	rec := &grantRecorder{}
+	res := Run(nopsProgram(3, 12), Config{
+		Seed: 4, Policy: NewQuantumPolicy(4), Observers: []Observer{rec},
+	})
+	if res.Deadlock != nil || res.Aborted {
+		t.Fatalf("bad run: %+v", res)
+	}
+	// Count maximal consecutive runs of the same thread: with quantum 4
+	// (plus jitter < 4) the average run length must be well above 1
+	// (random scheduling averages ≈1.x) and no run may exceed 2×quantum.
+	runs, cur := 0, 0
+	longest := 0
+	for i, g := range rec.grants {
+		if i == 0 || g != rec.grants[i-1] {
+			runs++
+			cur = 1
+		} else {
+			cur++
+		}
+		if cur > longest {
+			longest = cur
+		}
+	}
+	avg := float64(len(rec.grants)) / float64(runs)
+	if avg < 2.5 {
+		t.Fatalf("average slice length %.2f — not time-sliced", avg)
+	}
+	if longest > 8 {
+		t.Fatalf("slice of length %d exceeds quantum+jitter bound", longest)
+	}
+}
+
+func TestQuantumPolicyRoundRobinCoverage(t *testing.T) {
+	rec := &grantRecorder{}
+	Run(nopsProgram(4, 10), Config{
+		Seed: 9, Policy: NewQuantumPolicy(3), Observers: []Observer{rec},
+	})
+	// Every worker must appear throughout the run, not be starved to the end.
+	firstSeen := map[event.ThreadID]int{}
+	for i, g := range rec.grants {
+		if _, ok := firstSeen[g]; !ok {
+			firstSeen[g] = i
+		}
+	}
+	if len(firstSeen) != 4 {
+		t.Fatalf("only %d workers ever ran", len(firstSeen))
+	}
+	for tid, idx := range firstSeen {
+		if idx > len(rec.grants)/2 {
+			t.Fatalf("thread %v first ran at position %d/%d — starved", tid, idx, len(rec.grants))
+		}
+	}
+}
+
+func TestQuantumPolicyDeterministic(t *testing.T) {
+	run := func() []event.ThreadID {
+		rec := &grantRecorder{}
+		Run(nopsProgram(3, 8), Config{Seed: 11, Policy: NewQuantumPolicy(4), Observers: []Observer{rec}})
+		return rec.grants
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant order diverged at %d", i)
+		}
+	}
+}
+
+func TestRunToBlockSticksUntilBlocked(t *testing.T) {
+	rec := &grantRecorder{}
+	Run(nopsProgram(3, 10), Config{
+		Seed: 3, Policy: NewRunToBlockPolicy(0), Observers: []Observer{rec},
+	})
+	// With zero preemption and no blocking, each worker's writes must be one
+	// contiguous run.
+	switches := 0
+	for i := 1; i < len(rec.grants); i++ {
+		if rec.grants[i] != rec.grants[i-1] {
+			switches++
+		}
+	}
+	if switches != 2 {
+		t.Fatalf("switches = %d, want exactly 2 for 3 run-to-completion workers", switches)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{
+		NewRandomPolicy(), NewRunToBlockPolicy(0.1), NewQuantumPolicy(4), SequentialPolicy{},
+	} {
+		if p.Name() == "" {
+			t.Fatalf("%T has empty name", p)
+		}
+	}
+}

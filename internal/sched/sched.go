@@ -1,0 +1,593 @@
+// Package sched implements the deterministic cooperative scheduler that is
+// this reproduction's substitute for the paper's JVM-level thread control
+// (see DESIGN.md, "Substitutions"). Model threads run as goroutines, but
+// every instrumented operation parks the thread until the controller grants
+// it; exactly one model thread executes at a time, so a run is a function of
+// the program and one RNG seed. That seed-determinism is what makes the
+// paper's lightweight replay (§2.2) work: re-running with the same seed
+// reproduces the schedule with no event recording.
+//
+// The scheduler exposes two extension points:
+//
+//   - Policy decides, at each quiescent point, which enabled thread(s)
+//     execute next. The paper's RaceFuzzer algorithm is a Policy
+//     (internal/core); uniform random scheduling is the baseline.
+//   - Observer receives the event stream (MEM/SND/RCV/LOCK/UNLOCK) used by
+//     the hybrid and happens-before race detectors (phase 1).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/lockset"
+	"racefuzzer/internal/rng"
+)
+
+// ErrIllegalMonitorState is thrown (as a model exception) when a thread
+// unlocks, waits on, or notifies a monitor it does not hold.
+var ErrIllegalMonitorState = errors.New("IllegalMonitorStateException")
+
+// ErrInterruptedWait is thrown (as a model exception) by a monitor wait that
+// was interrupted — java.lang.InterruptedException out of Object.wait.
+var ErrInterruptedWait = errors.New("InterruptedException")
+
+// DefaultMaxSteps bounds an execution; runs that exceed it are marked
+// Aborted. Generous enough for every model in this repository.
+const DefaultMaxSteps = 2_000_000
+
+// lockState is the controller-side state of one monitor lock.
+type lockState struct {
+	name   string
+	holder event.ThreadID
+	depth  int
+}
+
+// Config parameterizes one execution.
+type Config struct {
+	// Seed fully determines the schedule (together with the program and the
+	// policy). Equal seeds replay equal executions.
+	Seed int64
+	// Policy picks who runs next; nil means uniform random (RandomPolicy).
+	Policy Policy
+	// Observers receive the event stream.
+	Observers []Observer
+	// MaxSteps bounds the execution; 0 means DefaultMaxSteps.
+	MaxSteps int
+	// Name labels the execution in reports.
+	Name string
+}
+
+// Exception records a model-level exception that killed a thread (the
+// analogue of an uncaught Java exception in the paper's experiments).
+type Exception struct {
+	Thread event.ThreadID
+	Name   string     // thread debug name
+	Err    error      // the thrown error (modelPanic) or a wrapped Go panic
+	Stmt   event.Stmt // statement of the thread's most recent granted op
+	Step   int        // scheduler step at which the thread died
+	Stack  string     // Go stack, for accidental (non-model) panics
+}
+
+func (e Exception) String() string {
+	return fmt.Sprintf("%s(%s) at %s (step %d): %v", e.Thread, e.Name, e.Stmt, e.Step, e.Err)
+}
+
+// DeadlockInfo describes a real deadlock: every live thread is disabled.
+type DeadlockInfo struct {
+	Step    int
+	Blocked []BlockedThread
+}
+
+// BlockedThread is one participant in a deadlock.
+type BlockedThread struct {
+	Thread  event.ThreadID
+	Name    string
+	Pending string // rendered pending op
+	// Lock is the lock the thread is blocked on (NoLock when the thread is
+	// blocked on a join or an unsignaled wait).
+	Lock event.LockID
+}
+
+func (d *DeadlockInfo) String() string {
+	s := fmt.Sprintf("deadlock at step %d:", d.Step)
+	for _, b := range d.Blocked {
+		s += fmt.Sprintf(" [%s(%s) blocked on %s]", b.Thread, b.Name, b.Pending)
+	}
+	return s
+}
+
+// Result summarizes one execution.
+type Result struct {
+	Name         string
+	Seed         int64
+	Steps        int
+	Threads      int // threads created
+	Locks        int
+	Locations    int
+	Exceptions   []Exception
+	Deadlock     *DeadlockInfo
+	Aborted      bool // hit MaxSteps (or external stop)
+	PolicyStalls int  // times the scheduler force-granted past an empty policy decision
+}
+
+// Scheduler drives one execution. Create with Run; a Scheduler is not
+// reusable across executions.
+type Scheduler struct {
+	cfg       Config
+	rng       *rng.Rand
+	workRand  *rng.Rand
+	policy    Policy
+	observers []Observer
+	maxSteps  int
+
+	parkCh   chan *Thread
+	threads  []*Thread
+	locks    []lockState
+	locNames []string
+
+	steps    int
+	inFlight int
+	aborted  atomic.Bool
+
+	nextMsg    event.MsgID
+	exitMsg    map[event.ThreadID]event.MsgID
+	exceptions []Exception
+	stalls     int
+	deadlock   *DeadlockInfo
+	abortedRun bool
+}
+
+// Run executes main as the body of thread T0 under cfg and returns the
+// execution's Result. It always returns with every model goroutine
+// terminated (no leaks), including on deadlock and step-limit abort.
+func Run(main func(*Thread), cfg Config) *Result {
+	s := &Scheduler{
+		cfg:      cfg,
+		rng:      rng.New(cfg.Seed),
+		policy:   cfg.Policy,
+		maxSteps: cfg.MaxSteps,
+		parkCh:   make(chan *Thread),
+		exitMsg:  make(map[event.ThreadID]event.MsgID),
+	}
+	s.workRand = s.rng.Split()
+	if s.policy == nil {
+		s.policy = NewRandomPolicy()
+	}
+	if s.maxSteps <= 0 {
+		s.maxSteps = DefaultMaxSteps
+	}
+	s.observers = append(s.observers, cfg.Observers...)
+	s.startThread("main", main)
+	s.loop()
+	return s.result()
+}
+
+// NewLoc allocates a fresh shared-memory location. Called by the conc
+// package from model-thread context; execution is serialized, so a plain
+// counter is deterministic.
+func (s *Scheduler) NewLoc(name string) event.MemLoc {
+	loc := event.MemLoc(len(s.locNames))
+	s.locNames = append(s.locNames, name)
+	return loc
+}
+
+// LocName returns the debug name of loc.
+func (s *Scheduler) LocName(loc event.MemLoc) string {
+	if int(loc) < 0 || int(loc) >= len(s.locNames) {
+		return loc.String()
+	}
+	return s.locNames[loc]
+}
+
+// NewLock allocates a fresh monitor lock.
+func (s *Scheduler) NewLock(name string) event.LockID {
+	id := event.LockID(len(s.locks))
+	s.locks = append(s.locks, lockState{name: name, holder: event.NoThread})
+	return id
+}
+
+// Seed returns the execution's seed (for findings/replay).
+func (s *Scheduler) Seed() int64 { return s.cfg.Seed }
+
+// Step returns the current step count.
+func (s *Scheduler) Step() int { return s.steps }
+
+func (s *Scheduler) startThread(name string, body func(*Thread)) *Thread {
+	t := &Thread{
+		id:        event.ThreadID(len(s.threads)),
+		name:      name,
+		s:         s,
+		resume:    make(chan struct{}),
+		status:    tsRunning,
+		heldDepth: make(map[event.LockID]int),
+	}
+	t.intrLoc = s.NewLoc(fmt.Sprintf("%s(T%d).interrupt", name, len(s.threads)))
+	s.threads = append(s.threads, t)
+	s.inFlight++
+	go t.run(body)
+	return t
+}
+
+// loop is the controller: wait for quiescence, ask the policy, grant, repeat.
+func (s *Scheduler) loop() {
+	s.awaitQuiescence()
+	emptyRounds := 0
+	for {
+		enabled := s.enabledThreads()
+		if len(enabled) == 0 {
+			if alive := s.aliveThreads(); len(alive) > 0 {
+				s.recordDeadlock(alive)
+				s.shutdown()
+			}
+			return
+		}
+		if s.steps >= s.maxSteps {
+			s.shutdown()
+			return
+		}
+		view := &View{sched: s, Step: s.steps, Enabled: enabled}
+		dec := s.policy.Step(view, s.rng)
+		if len(dec.Grants) == 0 {
+			emptyRounds++
+			// A policy may legitimately return no grants for a round while it
+			// adjusts internal state (e.g. RaceFuzzer postponing a thread),
+			// but never indefinitely: force progress after a grace period.
+			if emptyRounds > 2*len(s.threads)+16 {
+				s.stalls++
+				s.grant(enabled[s.rng.Intn(len(enabled))])
+				emptyRounds = 0
+			}
+			continue
+		}
+		emptyRounds = 0
+		for _, tid := range dec.Grants {
+			if s.isEnabled(tid) {
+				s.grant(tid)
+			}
+		}
+	}
+}
+
+// grant lets thread tid perform its pending op: apply the op's effect on the
+// scheduler's synchronization state, emit events, resume the goroutine, and
+// wait until every unblocked goroutine has parked again.
+func (s *Scheduler) grant(tid event.ThreadID) {
+	t := s.threads[tid]
+	op := t.pending
+	s.steps++
+	t.lastStmt = op.Stmt
+
+	switch op.Kind {
+	case OpBegin, OpNop:
+		// No synchronization effect.
+
+	case OpRead, OpWrite:
+		s.emit(event.Event{Kind: event.KindMem, Thread: tid, Stmt: op.Stmt,
+			Loc: op.Loc, Access: op.Access, Locks: t.held.Slice()})
+
+	case OpLock:
+		l := &s.locks[op.Lock]
+		if l.holder == tid {
+			l.depth++
+			t.heldDepth[op.Lock]++
+		} else {
+			l.holder = tid
+			l.depth = 1
+			t.heldDepth[op.Lock] = 1
+			t.held = t.held.Add(op.Lock)
+		}
+		s.emit(event.Event{Kind: event.KindLock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock,
+			Locks: t.held.Slice()})
+
+	case OpUnlock:
+		l := &s.locks[op.Lock]
+		if l.holder != tid {
+			t.poison = fmt.Errorf("%w: unlock of %s(%s) not held by %s",
+				ErrIllegalMonitorState, op.Lock, l.name, tid)
+			break
+		}
+		l.depth--
+		t.heldDepth[op.Lock]--
+		if l.depth == 0 {
+			l.holder = event.NoThread
+			delete(t.heldDepth, op.Lock)
+			t.held = t.held.Remove(op.Lock)
+		}
+		s.emit(event.Event{Kind: event.KindUnlock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock})
+
+	case OpWaitEnter:
+		l := &s.locks[op.Lock]
+		if l.holder != tid {
+			t.poison = fmt.Errorf("%w: wait on %s(%s) not held by %s",
+				ErrIllegalMonitorState, op.Lock, l.name, tid)
+			break
+		}
+		if t.interruptedFlag {
+			// Java: wait() throws immediately when entered with the
+			// interrupt status set, clearing the status; the monitor stays
+			// held while the exception propagates.
+			t.interruptedFlag = false
+			t.poison = fmt.Errorf("%w: wait entered with interrupt status set", ErrInterruptedWait)
+			break
+		}
+		t.savedDepth = l.depth
+		l.holder = event.NoThread
+		l.depth = 0
+		delete(t.heldDepth, op.Lock)
+		t.held = t.held.Remove(op.Lock)
+		t.notified = false
+		s.emit(event.Event{Kind: event.KindUnlock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock})
+
+	case OpWaitResume:
+		l := &s.locks[op.Lock]
+		l.holder = tid
+		l.depth = t.savedDepth
+		t.heldDepth[op.Lock] = t.savedDepth
+		t.held = t.held.Add(op.Lock)
+		t.notified = false
+		s.emit(event.Event{Kind: event.KindLock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock,
+			Locks: t.held.Slice()})
+		if t.wokenByIntr {
+			// The wait was ended by an interrupt: after reacquiring the
+			// monitor, the wait throws and the interrupt status is cleared.
+			t.wokenByIntr = false
+			t.interruptedFlag = false
+			t.poison = fmt.Errorf("%w: wait interrupted", ErrInterruptedWait)
+		}
+
+	case OpNotify, OpNotifyAll:
+		l := &s.locks[op.Lock]
+		if l.holder != tid {
+			t.poison = fmt.Errorf("%w: notify on %s(%s) not held by %s",
+				ErrIllegalMonitorState, op.Lock, l.name, tid)
+			break
+		}
+		waiters := s.waitSet(op.Lock)
+		if len(waiters) > 0 {
+			var woken []*Thread
+			if op.Kind == OpNotify {
+				woken = []*Thread{waiters[s.rng.Intn(len(waiters))]}
+			} else {
+				woken = waiters
+			}
+			for _, w := range woken {
+				w.status = tsNotified
+				w.notified = true
+				g := s.nextMsgID()
+				s.emit(event.Event{Kind: event.KindSnd, Thread: tid, Msg: g})
+				s.emit(event.Event{Kind: event.KindRcv, Thread: w.id, Msg: g})
+			}
+		}
+
+	case OpFork:
+		child := s.startThread(op.forkName, op.forkBody)
+		t.forkResult = child
+		g := s.nextMsgID()
+		s.emit(event.Event{Kind: event.KindSnd, Thread: tid, Msg: g})
+		s.emit(event.Event{Kind: event.KindRcv, Thread: child.id, Msg: g})
+
+	case OpInterrupt:
+		target := s.threads[op.Target]
+		// The interrupt is a write to the target's interrupt status.
+		s.emit(event.Event{Kind: event.KindMem, Thread: tid, Stmt: op.Stmt,
+			Loc: target.intrLoc, Access: event.Write, Locks: t.held.Slice()})
+		if target.status != tsDead {
+			target.interruptedFlag = true
+			if target.status == tsWaiting {
+				target.status = tsNotified
+				target.notified = true
+				target.wokenByIntr = true
+				g := s.nextMsgID()
+				s.emit(event.Event{Kind: event.KindSnd, Thread: tid, Msg: g})
+				s.emit(event.Event{Kind: event.KindRcv, Thread: target.id, Msg: g})
+			}
+		}
+
+	case OpJoin:
+		g, ok := s.exitMsg[op.Target]
+		if !ok {
+			// Joining a live thread is a scheduling bug: join is only enabled
+			// once the target died and registered its exit message.
+			panic(fmt.Sprintf("sched: join of live thread %s granted", op.Target))
+		}
+		s.emit(event.Event{Kind: event.KindRcv, Thread: tid, Msg: g})
+	}
+
+	t.status = tsRunning
+	s.inFlight++
+	t.resume <- struct{}{}
+	s.awaitQuiescence()
+}
+
+// awaitQuiescence receives parks until no model goroutine is unblocked.
+func (s *Scheduler) awaitQuiescence() {
+	for s.inFlight > 0 {
+		s.handlePark(<-s.parkCh)
+	}
+}
+
+// handlePark processes one park (or exit) notification from a thread.
+func (s *Scheduler) handlePark(t *Thread) {
+	s.inFlight--
+	if t.exitedFlag {
+		s.threadDied(t)
+		return
+	}
+	if t.pending.Kind == OpWaitResume && !t.notified {
+		t.status = tsWaiting
+	} else if t.pending.Kind == OpWaitResume && t.notified {
+		t.status = tsNotified
+	} else {
+		t.status = tsParked
+	}
+}
+
+// threadDied finalizes a dead thread: force-release its monitors (HotSpot
+// unwinds synchronized blocks on uncaught exceptions; our models pair every
+// acquire with a release, so on clean exit this is a no-op), record any
+// model exception, and register the exit message joiners will receive.
+func (s *Scheduler) threadDied(t *Thread) {
+	t.status = tsDead
+	for lid, depth := range t.heldDepth {
+		_ = depth
+		l := &s.locks[lid]
+		if l.holder == t.id {
+			l.holder = event.NoThread
+			l.depth = 0
+			s.emit(event.Event{Kind: event.KindUnlock, Thread: t.id, Stmt: t.lastStmt, Lock: lid})
+		}
+		delete(t.heldDepth, lid)
+	}
+	t.held = lockset.Empty()
+	if t.panicVal != nil {
+		err, _ := asModelError(t.panicVal)
+		exc := Exception{
+			Thread: t.id, Name: t.name, Err: err, Stmt: t.lastStmt, Step: s.steps,
+			Stack: t.panicStack,
+		}
+		s.exceptions = append(s.exceptions, exc)
+		t.panicVal = nil
+	}
+	g := s.nextMsgID()
+	s.exitMsg[t.id] = g
+	s.emit(event.Event{Kind: event.KindSnd, Thread: t.id, Msg: g})
+}
+
+func asModelError(v any) (err error, isModel bool) {
+	if mp, ok := v.(modelPanic); ok {
+		return mp.err, true
+	}
+	if e, ok := v.(error); ok {
+		return fmt.Errorf("model thread panicked: %w", e), false
+	}
+	return fmt.Errorf("model thread panicked: %v", v), false
+}
+
+// waitSet returns the threads waiting on lock l's monitor, in thread order.
+func (s *Scheduler) waitSet(l event.LockID) []*Thread {
+	var out []*Thread
+	for _, t := range s.threads {
+		if t.status == tsWaiting && t.pending.Kind == OpWaitResume && t.pending.Lock == l {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// isEnabled implements the paper's Enabled(s) membership test for one
+// thread: parked and not blocked by a lock, a live join target, or an
+// unsignaled wait.
+func (s *Scheduler) isEnabled(tid event.ThreadID) bool {
+	t := s.threads[tid]
+	switch t.status {
+	case tsParked:
+	case tsNotified:
+		l := s.locks[t.pending.Lock]
+		return l.holder == event.NoThread
+	default:
+		return false
+	}
+	switch t.pending.Kind {
+	case OpLock:
+		l := s.locks[t.pending.Lock]
+		return l.holder == event.NoThread || l.holder == tid
+	case OpJoin:
+		return s.threads[t.pending.Target].status == tsDead
+	default:
+		return true
+	}
+}
+
+// enabledThreads returns Enabled(s) in ascending thread order.
+func (s *Scheduler) enabledThreads() []event.ThreadID {
+	var out []event.ThreadID
+	for _, t := range s.threads {
+		if s.isEnabled(t.id) {
+			out = append(out, t.id)
+		}
+	}
+	return out
+}
+
+// aliveThreads returns Alive(s).
+func (s *Scheduler) aliveThreads() []*Thread {
+	var out []*Thread
+	for _, t := range s.threads {
+		if t.status != tsDead {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (s *Scheduler) recordDeadlock(alive []*Thread) {
+	info := &DeadlockInfo{Step: s.steps}
+	for _, t := range alive {
+		b := BlockedThread{Thread: t.id, Name: t.name, Pending: t.pending.String(), Lock: event.NoLock}
+		switch t.pending.Kind {
+		case OpLock, OpWaitResume:
+			b.Lock = t.pending.Lock
+		}
+		info.Blocked = append(info.Blocked, b)
+	}
+	sort.Slice(info.Blocked, func(i, j int) bool { return info.Blocked[i].Thread < info.Blocked[j].Thread })
+	s.deadlock = info
+}
+
+// shutdown aborts every live model goroutine so Run never leaks. Threads
+// blocked in yield observe the abort flag when resumed and unwind via the
+// abort sentinel.
+func (s *Scheduler) shutdown() {
+	s.aborted.Store(true)
+	s.abortedRun = true
+	for {
+		if s.inFlight > 0 {
+			s.handlePark(<-s.parkCh)
+			continue
+		}
+		var next *Thread
+		for _, t := range s.threads {
+			if t.status != tsDead && t.status != tsRunning {
+				next = t
+				break
+			}
+		}
+		if next == nil {
+			return
+		}
+		next.status = tsRunning
+		s.inFlight++
+		next.resume <- struct{}{}
+	}
+}
+
+func (s *Scheduler) nextMsgID() event.MsgID {
+	s.nextMsg++
+	return s.nextMsg
+}
+
+func (s *Scheduler) emit(e event.Event) {
+	e.Step = s.steps
+	for _, o := range s.observers {
+		o.OnEvent(e)
+	}
+}
+
+func (s *Scheduler) result() *Result {
+	return &Result{
+		Name:         s.cfg.Name,
+		Seed:         s.cfg.Seed,
+		Steps:        s.steps,
+		Threads:      len(s.threads),
+		Locks:        len(s.locks),
+		Locations:    len(s.locNames),
+		Exceptions:   s.exceptions,
+		Deadlock:     s.deadlock,
+		Aborted:      s.abortedRun,
+		PolicyStalls: s.stalls,
+	}
+}

@@ -1,0 +1,535 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/rng"
+)
+
+// recorder captures the event stream as strings for determinism comparisons.
+type recorder struct{ lines []string }
+
+func (r *recorder) OnEvent(e event.Event) { r.lines = append(r.lines, e.String()) }
+
+func stmt(name string) event.Stmt { return event.StmtFor(name) }
+
+// counterProgram forks n children that each increment a shared counter k
+// times under a lock; returns a pointer to observe the final value.
+func counterProgram(n, k int, final *int) func(*Thread) {
+	return func(t *Thread) {
+		s := t.Scheduler()
+		loc := s.NewLoc("counter")
+		lk := s.NewLock("L")
+		val := 0
+		kids := make([]*Thread, n)
+		for i := 0; i < n; i++ {
+			kids[i] = t.Fork(fmt.Sprintf("w%d", i), func(c *Thread) {
+				for j := 0; j < k; j++ {
+					c.LockAcquire(lk, stmt("acq"))
+					c.MemRead(loc, stmt("read"))
+					v := val
+					c.MemWrite(loc, stmt("write"))
+					val = v + 1
+					c.LockRelease(lk, stmt("rel"))
+				}
+			})
+		}
+		for _, kid := range kids {
+			t.Join(kid)
+		}
+		*final = val
+	}
+}
+
+func TestCounterUnderLockIsExact(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		var final int
+		res := Run(counterProgram(4, 25, &final), Config{Seed: seed})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: unexpected deadlock: %v", seed, res.Deadlock)
+		}
+		if len(res.Exceptions) != 0 {
+			t.Fatalf("seed %d: unexpected exceptions: %v", seed, res.Exceptions)
+		}
+		if final != 100 {
+			t.Fatalf("seed %d: counter = %d, want 100", seed, final)
+		}
+		if res.Threads != 5 {
+			t.Fatalf("seed %d: threads = %d, want 5", seed, res.Threads)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []string {
+		rec := &recorder{}
+		var final int
+		Run(counterProgram(3, 10, &final), Config{Seed: seed, Observers: []Observer{rec}})
+		return rec.lines
+	}
+	a := run(42)
+	b := run(42)
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsUsuallyDiffer(t *testing.T) {
+	run := func(seed int64) string {
+		rec := &recorder{}
+		var final int
+		Run(counterProgram(3, 10, &final), Config{Seed: seed, Observers: []Observer{rec}})
+		out := ""
+		for _, l := range rec.lines {
+			out += l + "\n"
+		}
+		return out
+	}
+	base := run(1)
+	differ := 0
+	for seed := int64(2); seed < 12; seed++ {
+		if run(seed) != base {
+			differ++
+		}
+	}
+	if differ < 5 {
+		t.Fatalf("only %d/10 seeds produced a different schedule", differ)
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	// With the lock, the critical section never observes a torn invariant.
+	for seed := int64(0); seed < 30; seed++ {
+		violated := false
+		prog := func(t *Thread) {
+			s := t.Scheduler()
+			lk := s.NewLock("L")
+			la := s.NewLoc("a")
+			lb := s.NewLoc("b")
+			a, b := 0, 0
+			body := func(c *Thread) {
+				for i := 0; i < 5; i++ {
+					c.LockAcquire(lk, stmt("acq"))
+					c.MemWrite(la, stmt("wa"))
+					a++
+					c.Nop(stmt("between"))
+					c.MemWrite(lb, stmt("wb"))
+					b++
+					if a != b {
+						violated = true
+					}
+					c.LockRelease(lk, stmt("rel"))
+				}
+			}
+			k1 := t.Fork("w1", body)
+			k2 := t.Fork("w2", body)
+			t.Join(k1)
+			t.Join(k2)
+		}
+		Run(prog, Config{Seed: seed})
+		if violated {
+			t.Fatalf("seed %d: mutual exclusion violated", seed)
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// Classic ABBA deadlock must be reported for some seed; under seeds where
+	// one thread wins both locks first the program completes.
+	sawDeadlock := false
+	for seed := int64(0); seed < 50 && !sawDeadlock; seed++ {
+		prog := func(t *Thread) {
+			s := t.Scheduler()
+			l1 := s.NewLock("L1")
+			l2 := s.NewLock("L2")
+			a := t.Fork("a", func(c *Thread) {
+				c.LockAcquire(l1, stmt("a1"))
+				c.Nop(stmt("a-mid"))
+				c.LockAcquire(l2, stmt("a2"))
+				c.LockRelease(l2, stmt("a3"))
+				c.LockRelease(l1, stmt("a4"))
+			})
+			b := t.Fork("b", func(c *Thread) {
+				c.LockAcquire(l2, stmt("b1"))
+				c.Nop(stmt("b-mid"))
+				c.LockAcquire(l1, stmt("b2"))
+				c.LockRelease(l1, stmt("b3"))
+				c.LockRelease(l2, stmt("b4"))
+			})
+			t.Join(a)
+			t.Join(b)
+		}
+		res := Run(prog, Config{Seed: seed})
+		if res.Deadlock != nil {
+			sawDeadlock = true
+			if len(res.Deadlock.Blocked) != 3 { // a, b, and main (blocked in join)
+				t.Fatalf("blocked set = %v", res.Deadlock.Blocked)
+			}
+		}
+	}
+	if !sawDeadlock {
+		t.Fatal("no seed exposed the ABBA deadlock")
+	}
+}
+
+func TestWaitNotifyHandshake(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		got := -1
+		prog := func(t *Thread) {
+			s := t.Scheduler()
+			lk := s.NewLock("mon")
+			locReady := s.NewLoc("ready")
+			locData := s.NewLoc("data")
+			ready, data := false, 0
+			consumer := t.Fork("consumer", func(c *Thread) {
+				c.LockAcquire(lk, stmt("c-acq"))
+				for {
+					c.MemRead(locReady, stmt("c-check"))
+					if ready {
+						break
+					}
+					c.MonitorWait(lk, stmt("c-wait"))
+				}
+				c.MemRead(locData, stmt("c-read"))
+				got = data
+				c.LockRelease(lk, stmt("c-rel"))
+			})
+			t.LockAcquire(lk, stmt("p-acq"))
+			t.MemWrite(locData, stmt("p-data"))
+			data = 99
+			t.MemWrite(locReady, stmt("p-ready"))
+			ready = true
+			t.MonitorNotify(lk, stmt("p-notify"))
+			t.LockRelease(lk, stmt("p-rel"))
+			t.Join(consumer)
+		}
+		res := Run(prog, Config{Seed: seed})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: deadlock: %v", seed, res.Deadlock)
+		}
+		if got != 99 {
+			t.Fatalf("seed %d: consumer read %d, want 99", seed, got)
+		}
+	}
+}
+
+func TestNotifyWithoutWaitersIsNoop(t *testing.T) {
+	prog := func(t *Thread) {
+		lk := t.Scheduler().NewLock("mon")
+		t.LockAcquire(lk, stmt("acq"))
+		t.MonitorNotify(lk, stmt("notify"))
+		t.MonitorNotifyAll(lk, stmt("notifyAll"))
+		t.LockRelease(lk, stmt("rel"))
+	}
+	res := Run(prog, Config{Seed: 1})
+	if res.Deadlock != nil || len(res.Exceptions) != 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestReentrantLockAndWaitDepthRestore(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ok := false
+		prog := func(t *Thread) {
+			s := t.Scheduler()
+			lk := s.NewLock("mon")
+			loc := s.NewLoc("flag")
+			flag := false
+			waiter := t.Fork("waiter", func(c *Thread) {
+				c.LockAcquire(lk, stmt("w-acq1"))
+				c.LockAcquire(lk, stmt("w-acq2")) // depth 2
+				for {
+					c.MemRead(loc, stmt("w-check"))
+					if flag {
+						break
+					}
+					c.MonitorWait(lk, stmt("w-wait")) // releases both levels
+				}
+				// Depth must be restored to 2: two releases needed.
+				c.LockRelease(lk, stmt("w-rel1"))
+				c.LockRelease(lk, stmt("w-rel2"))
+				ok = true
+			})
+			t.LockAcquire(lk, stmt("m-acq")) // possible only if wait released fully
+			t.MemWrite(loc, stmt("m-set"))
+			flag = true
+			t.MonitorNotifyAll(lk, stmt("m-notify"))
+			t.LockRelease(lk, stmt("m-rel"))
+			t.Join(waiter)
+		}
+		res := Run(prog, Config{Seed: seed})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: deadlock: %v", seed, res.Deadlock)
+		}
+		if len(res.Exceptions) != 0 {
+			t.Fatalf("seed %d: exceptions: %v", seed, res.Exceptions)
+		}
+		if !ok {
+			t.Fatalf("seed %d: waiter did not complete", seed)
+		}
+	}
+}
+
+func TestIllegalMonitorStateOnUnlock(t *testing.T) {
+	prog := func(t *Thread) {
+		lk := t.Scheduler().NewLock("mon")
+		t.LockRelease(lk, stmt("bad-unlock"))
+	}
+	res := Run(prog, Config{Seed: 3})
+	if len(res.Exceptions) != 1 {
+		t.Fatalf("exceptions = %v, want 1", res.Exceptions)
+	}
+	if !errors.Is(res.Exceptions[0].Err, ErrIllegalMonitorState) {
+		t.Fatalf("err = %v, want IllegalMonitorState", res.Exceptions[0].Err)
+	}
+}
+
+func TestIllegalMonitorStateOnWaitAndNotify(t *testing.T) {
+	for _, mode := range []string{"wait", "notify"} {
+		prog := func(t *Thread) {
+			lk := t.Scheduler().NewLock("mon")
+			if mode == "wait" {
+				t.MonitorWait(lk, stmt("bad-wait"))
+			} else {
+				t.MonitorNotify(lk, stmt("bad-notify"))
+			}
+		}
+		res := Run(prog, Config{Seed: 3})
+		if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, ErrIllegalMonitorState) {
+			t.Fatalf("%s: exceptions = %v", mode, res.Exceptions)
+		}
+	}
+}
+
+func TestThrowKillsThreadButNotRun(t *testing.T) {
+	errBoom := errors.New("boom")
+	for seed := int64(0); seed < 10; seed++ {
+		completed := false
+		prog := func(t *Thread) {
+			s := t.Scheduler()
+			lk := s.NewLock("L")
+			bad := t.Fork("bad", func(c *Thread) {
+				c.LockAcquire(lk, stmt("bad-acq"))
+				c.Throw(errBoom) // dies holding L; scheduler must force-release
+			})
+			good := t.Fork("good", func(c *Thread) {
+				c.LockAcquire(lk, stmt("good-acq"))
+				c.LockRelease(lk, stmt("good-rel"))
+				completed = true
+			})
+			t.Join(bad)
+			t.Join(good)
+		}
+		res := Run(prog, Config{Seed: seed})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: deadlock: %v", seed, res.Deadlock)
+		}
+		if len(res.Exceptions) != 1 || !errors.Is(res.Exceptions[0].Err, errBoom) {
+			t.Fatalf("seed %d: exceptions = %v", seed, res.Exceptions)
+		}
+		if !completed {
+			t.Fatalf("seed %d: sibling thread did not complete", seed)
+		}
+	}
+}
+
+func TestStepLimitAbortsWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	prog := func(t *Thread) {
+		spin := t.Fork("spinner", func(c *Thread) {
+			for {
+				c.Nop(stmt("spin"))
+			}
+		})
+		t.Join(spin)
+	}
+	res := Run(prog, Config{Seed: 7, MaxSteps: 500})
+	if !res.Aborted {
+		t.Fatal("expected aborted result")
+	}
+	// Let the unwound goroutines finish their final park handoff.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, g)
+	}
+}
+
+func TestForkReturnsChildAndJoinOrders(t *testing.T) {
+	order := []string{}
+	var forkedID event.ThreadID = -99
+	prog := func(mt *Thread) {
+		child := mt.Fork("child", func(c *Thread) {
+			c.Nop(stmt("child-work"))
+			order = append(order, "child")
+		})
+		forkedID = child.ID()
+		mt.Join(child)
+		order = append(order, "after-join")
+	}
+	Run(prog, Config{Seed: 9})
+	if forkedID != 1 {
+		t.Fatalf("forked thread ID = %v, want 1", forkedID)
+	}
+	if len(order) != 2 || order[0] != "child" || order[1] != "after-join" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSequentialPolicyIsStable(t *testing.T) {
+	run := func() []string {
+		rec := &recorder{}
+		var final int
+		Run(counterProgram(3, 5, &final), Config{Seed: 123, Policy: SequentialPolicy{}, Observers: []Observer{rec}})
+		return rec.lines
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequential policy diverged at %d", i)
+		}
+	}
+}
+
+func TestRunToBlockPolicyCompletes(t *testing.T) {
+	for _, preempt := range []float64{0, 0.05} {
+		var final int
+		res := Run(counterProgram(3, 10, &final), Config{
+			Seed: 5, Policy: NewRunToBlockPolicy(preempt),
+		})
+		if res.Deadlock != nil || final != 30 {
+			t.Fatalf("preempt=%v: final=%d res=%+v", preempt, final, res)
+		}
+	}
+}
+
+func TestCountingObserver(t *testing.T) {
+	c := &CountingObserver{}
+	var final int
+	Run(counterProgram(2, 3, &final), Config{Seed: 11, Observers: []Observer{c}})
+	if c.Mem != 2*3*2 {
+		t.Fatalf("mem events = %d, want 12", c.Mem)
+	}
+	if c.Lock != 6 || c.Unlock != 6 {
+		t.Fatalf("lock/unlock = %d/%d, want 6/6", c.Lock, c.Unlock)
+	}
+	// fork SND/RCV ×2 + exit SND ×3 (2 children + main at end? main's exit
+	// SND is emitted too) + join RCV ×2.
+	if c.Snd < 4 || c.Rcv < 4 {
+		t.Fatalf("snd/rcv = %d/%d", c.Snd, c.Rcv)
+	}
+	if c.Total() != c.Mem+c.Snd+c.Rcv+c.Lock+c.Unlock {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestNotifyAllWakesEveryWaiter(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		woken := 0
+		prog := func(t *Thread) {
+			s := t.Scheduler()
+			lk := s.NewLock("mon")
+			locGo := s.NewLoc("go")
+			goFlag := false
+			kids := make([]*Thread, 3)
+			for i := range kids {
+				kids[i] = t.Fork(fmt.Sprintf("w%d", i), func(c *Thread) {
+					c.LockAcquire(lk, stmt("w-acq"))
+					for {
+						c.MemRead(locGo, stmt("w-check"))
+						if goFlag {
+							break
+						}
+						c.MonitorWait(lk, stmt("w-wait"))
+					}
+					woken++
+					c.LockRelease(lk, stmt("w-rel"))
+				})
+			}
+			// Give the waiters a chance to park in the wait set first: they
+			// must acquire the monitor before we do; scheduling order varies
+			// by seed, and the flag protocol makes every order correct.
+			t.LockAcquire(lk, stmt("m-acq"))
+			t.MemWrite(locGo, stmt("m-set"))
+			goFlag = true
+			t.MonitorNotifyAll(lk, stmt("m-notify"))
+			t.LockRelease(lk, stmt("m-rel"))
+			for _, k := range kids {
+				t.Join(k)
+			}
+		}
+		res := Run(prog, Config{Seed: seed})
+		if res.Deadlock != nil {
+			t.Fatalf("seed %d: deadlock: %v", seed, res.Deadlock)
+		}
+		if woken != 3 {
+			t.Fatalf("seed %d: woken = %d, want 3", seed, woken)
+		}
+	}
+}
+
+func TestViewExposesPendingOps(t *testing.T) {
+	sawRace := false
+	probe := policyFunc(func(v *View, r *rng.Rand) Decision {
+		// When both children are parked at their writes, the view must show
+		// conflicting pending mem ops at the same location.
+		var ops []Op
+		for _, tid := range v.Enabled {
+			op := v.Op(tid)
+			if op.IsMem() {
+				ops = append(ops, op)
+			}
+		}
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				if ops[i].ConflictsWith(ops[j]) {
+					sawRace = true
+				}
+			}
+		}
+		return Grant(v.Enabled[r.Intn(len(v.Enabled))])
+	})
+	prog := func(t *Thread) {
+		loc := t.Scheduler().NewLoc("x")
+		k1 := t.Fork("a", func(c *Thread) { c.MemWrite(loc, stmt("wa")) })
+		k2 := t.Fork("b", func(c *Thread) { c.MemWrite(loc, stmt("wb")) })
+		t.Join(k1)
+		t.Join(k2)
+	}
+	found := false
+	for seed := int64(0); seed < 20; seed++ {
+		sawRace = false
+		Run(prog, Config{Seed: seed, Policy: probe})
+		if sawRace {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed showed both conflicting ops pending simultaneously")
+	}
+}
+
+// policyFunc adapts a function to Policy for tests.
+type policyFunc func(v *View, r *rng.Rand) Decision
+
+func (policyFunc) Name() string { return "test-policy" }
+func (f policyFunc) Step(v *View, r *rng.Rand) Decision {
+	return f(v, r)
+}

@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/lockset"
+	"racefuzzer/internal/rng"
+)
+
+// threadStatus is the controller-side lifecycle state of a model thread.
+type threadStatus int
+
+const (
+	// tsRunning: the thread's goroutine is unblocked (it was just granted an
+	// op, or just forked and has not parked yet).
+	tsRunning threadStatus = iota
+	// tsParked: blocked in yield with a pending op, available for scheduling
+	// subject to enabledness.
+	tsParked
+	// tsWaiting: parked with a pending OpWaitResume and not yet notified —
+	// disabled (Java wait-set membership).
+	tsWaiting
+	// tsNotified: parked with OpWaitResume and notified — enabled once the
+	// monitor lock is free.
+	tsNotified
+	// tsDead: the thread's goroutine has terminated (normally or via an
+	// uncaught model exception).
+	tsDead
+)
+
+func (s threadStatus) String() string {
+	switch s {
+	case tsRunning:
+		return "running"
+	case tsParked:
+		return "parked"
+	case tsWaiting:
+		return "waiting"
+	case tsNotified:
+		return "notified"
+	case tsDead:
+		return "dead"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// abortSentinel is panicked inside model threads when the scheduler shuts an
+// execution down (step limit, external abort); the thread runner recognizes
+// it and does not record it as a model exception.
+type abortSentinel struct{}
+
+// modelPanic wraps an error thrown by Throw so the thread runner can
+// distinguish deliberate model exceptions from accidental Go panics (both
+// are recorded, but with different descriptions).
+type modelPanic struct{ err error }
+
+func (m modelPanic) String() string { return m.err.Error() }
+
+// Thread is a model thread: the unit the scheduler grants steps to and the
+// handle model programs use to perform instrumented operations. All methods
+// must be called from the thread's own body function.
+type Thread struct {
+	id   event.ThreadID
+	name string
+	s    *Scheduler
+
+	// resume is the grant channel: the controller sends one token to let the
+	// thread perform its pending op and run to its next yield.
+	resume chan struct{}
+
+	// pending is the op the thread will perform next. Written by the thread
+	// before parking, read by the controller after receiving the park — the
+	// park channel orders the accesses.
+	pending Op
+
+	// Controller-owned scheduling state.
+	status     threadStatus
+	held       lockset.Set
+	heldDepth  map[event.LockID]int
+	savedDepth int  // recursion depth saved across a monitor wait
+	notified   bool // woken from the wait set, racing for the lock
+
+	// poison, set by the controller before resuming, makes yield panic with
+	// the given error: used for model-level illegal states such as unlocking
+	// a lock the thread does not hold.
+	poison error
+
+	// forkResult is set by the controller during an OpFork grant so Fork can
+	// return the child handle.
+	forkResult *Thread
+
+	// Exit bookkeeping, written by the thread's goroutine before its final
+	// park and read by the controller afterwards.
+	exitedFlag bool
+	panicVal   any
+	panicStack string
+
+	// lastStmt is the statement of the thread's most recently granted op,
+	// used to attribute exceptions to program points.
+	lastStmt event.Stmt
+
+	// Interrupt machinery (Java Thread.interrupt semantics). intrLoc is the
+	// thread's interrupt-status memory location (accesses to it are
+	// instrumented, so interrupt races are detectable); the booleans are
+	// controller-owned.
+	intrLoc         event.MemLoc
+	interruptedFlag bool
+	wokenByIntr     bool
+}
+
+// ID returns the thread's identity (0 for the main thread, then fork order).
+func (t *Thread) ID() event.ThreadID { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Scheduler returns the owning scheduler, used by the conc package to
+// allocate memory locations and locks.
+func (t *Thread) Scheduler() *Scheduler { return t.s }
+
+// Rand returns the execution's workload RNG: a deterministic stream split
+// from the seed, for model programs that need randomized inputs without
+// perturbing scheduling decisions.
+func (t *Thread) Rand() *rng.Rand { return t.s.workRand }
+
+// yield publishes op as the thread's next operation and blocks until the
+// scheduler grants it. On return the thread owns the step: it performs the
+// op's data effect and runs uninstrumented code until the next yield.
+func (t *Thread) yield(op Op) {
+	if t.s.aborted.Load() {
+		panic(abortSentinel{})
+	}
+	t.pending = op
+	t.s.parkCh <- t
+	<-t.resume
+	if t.s.aborted.Load() {
+		panic(abortSentinel{})
+	}
+	if t.poison != nil {
+		err := t.poison
+		t.poison = nil
+		panic(modelPanic{err})
+	}
+}
+
+// MemRead performs an instrumented read of loc at statement stmt. The caller
+// reads the actual Go value only after MemRead returns (the scheduler
+// serializes execution, so the read is safe).
+func (t *Thread) MemRead(loc event.MemLoc, stmt event.Stmt) {
+	t.yield(Op{Kind: OpRead, Stmt: stmt, Loc: loc, Access: event.Read})
+}
+
+// MemWrite performs an instrumented write of loc at statement stmt.
+func (t *Thread) MemWrite(loc event.MemLoc, stmt event.Stmt) {
+	t.yield(Op{Kind: OpWrite, Stmt: stmt, Loc: loc, Access: event.Write})
+}
+
+// LockAcquire acquires monitor lock l (reentrant), blocking while another
+// thread holds it.
+func (t *Thread) LockAcquire(l event.LockID, stmt event.Stmt) {
+	t.yield(Op{Kind: OpLock, Stmt: stmt, Lock: l})
+}
+
+// LockRelease releases one level of monitor lock l. Releasing a lock the
+// thread does not hold throws a model IllegalMonitorState exception.
+func (t *Thread) LockRelease(l event.LockID, stmt event.Stmt) {
+	t.yield(Op{Kind: OpUnlock, Stmt: stmt, Lock: l})
+}
+
+// MonitorWait performs a Java-style wait on l's monitor: releases the lock
+// in full, joins the wait set, and — once notified — reacquires the lock at
+// the saved depth before returning. Waiting without holding l throws a model
+// IllegalMonitorState exception.
+func (t *Thread) MonitorWait(l event.LockID, stmt event.Stmt) {
+	t.yield(Op{Kind: OpWaitEnter, Stmt: stmt, Lock: l})
+	t.yield(Op{Kind: OpWaitResume, Stmt: stmt, Lock: l})
+}
+
+// MonitorNotify wakes one thread (chosen by the scheduler's RNG — a recorded
+// scheduling decision) from l's wait set, or does nothing if none wait.
+func (t *Thread) MonitorNotify(l event.LockID, stmt event.Stmt) {
+	t.yield(Op{Kind: OpNotify, Stmt: stmt, Lock: l})
+}
+
+// MonitorNotifyAll wakes every thread in l's wait set.
+func (t *Thread) MonitorNotifyAll(l event.LockID, stmt event.Stmt) {
+	t.yield(Op{Kind: OpNotifyAll, Stmt: stmt, Lock: l})
+}
+
+// Fork creates and starts a child thread running body and returns its
+// handle. The child parks before running any user code, so the scheduler
+// fully controls the interleaving.
+func (t *Thread) Fork(name string, body func(*Thread)) *Thread {
+	t.forkResult = nil
+	t.yield(Op{Kind: OpFork, Stmt: event.CallerStmt(1), forkBody: body, forkName: name})
+	child := t.forkResult
+	t.forkResult = nil
+	return child
+}
+
+// Join blocks until child has terminated.
+func (t *Thread) Join(child *Thread) {
+	t.yield(Op{Kind: OpJoin, Stmt: event.CallerStmt(1), Target: child.id})
+}
+
+// Nop is an explicit scheduling point with no effect, representing an
+// untracked model statement.
+func (t *Thread) Nop(stmt event.Stmt) {
+	t.yield(Op{Kind: OpNop, Stmt: stmt})
+}
+
+// Interrupt sets other's interrupt status (Java Thread.interrupt): if other
+// is blocked in a monitor wait it is woken and its wait throws
+// InterruptedException after reacquiring the monitor; otherwise the flag is
+// simply set and observable via IsInterrupted.
+func (t *Thread) Interrupt(other *Thread) {
+	t.yield(Op{Kind: OpInterrupt, Stmt: event.CallerStmt(1), Target: other.id})
+}
+
+// IsInterrupted reads the thread's own interrupt status (an instrumented
+// read: interrupt-status races are first-class memory races).
+func (t *Thread) IsInterrupted() bool {
+	t.MemRead(t.intrLoc, event.CallerStmt(1))
+	return t.interruptedFlag
+}
+
+// ClearInterrupt clears the thread's own interrupt status (the flag-clearing
+// half of Java's Thread.interrupted()).
+func (t *Thread) ClearInterrupt() {
+	t.MemWrite(t.intrLoc, event.CallerStmt(1))
+	t.interruptedFlag = false
+}
+
+// Throw raises a model exception: the thread dies (its locks are force-
+// released, Java-style the monitor would actually stay broken, but force-
+// release keeps sibling threads schedulable the way HotSpot unwinds
+// synchronized blocks) and the exception is recorded on the Result.
+func (t *Thread) Throw(err error) {
+	panic(modelPanic{err})
+}
+
+// Throwf is Throw with fmt.Errorf formatting.
+func (t *Thread) Throwf(format string, args ...any) {
+	t.Throw(fmt.Errorf(format, args...))
+}
+
+// run is the goroutine body hosting a model thread.
+func (t *Thread) run(body func(*Thread)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSentinel); !isAbort {
+				t.panicVal = r
+				if _, isModel := r.(modelPanic); !isModel {
+					// Accidental Go panic: capture this goroutine's stack
+					// for the exception report.
+					t.panicStack = string(debug.Stack())
+				}
+			}
+		}
+		t.exitedFlag = true
+		t.s.parkCh <- t
+	}()
+	t.yield(Op{Kind: OpBegin})
+	if body != nil {
+		body(t)
+	}
+}

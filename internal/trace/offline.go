@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"racefuzzer/internal/event"
+)
+
+// Offline analysis support: an execution's event stream can be serialized
+// and re-analyzed later with any detector, the remedy the paper mentions
+// (§1, citing Narayanasamy et al.) for the runtime overhead of precise
+// online detection — record cheaply now, analyze offline later. Because
+// detectors are pure functions of the event stream, offline results are
+// bit-identical to online ones (tested in offline_test.go).
+
+// jsonEvent is the serialized form of one event. Statement labels are
+// serialized by name so a recording is valid across processes.
+type jsonEvent struct {
+	Kind   int            `json:"k"`
+	Thread int            `json:"t"`
+	Stmt   string         `json:"s,omitempty"`
+	Loc    int            `json:"m"`
+	Access int            `json:"a"`
+	Lock   int            `json:"l"`
+	Msg    int            `json:"g"`
+	Locks  []event.LockID `json:"L,omitempty"`
+	Step   int            `json:"n"`
+}
+
+func toJSON(e event.Event) jsonEvent {
+	return jsonEvent{
+		Kind: int(e.Kind), Thread: int(e.Thread), Stmt: e.Stmt.Name(),
+		Loc: int(e.Loc), Access: int(e.Access), Lock: int(e.Lock),
+		Msg: int(e.Msg), Locks: e.Locks, Step: e.Step,
+	}
+}
+
+func fromJSON(j jsonEvent) event.Event {
+	return event.Event{
+		Kind: event.Kind(j.Kind), Thread: event.ThreadID(j.Thread),
+		Stmt: event.StmtFor(j.Stmt), Loc: event.MemLoc(j.Loc),
+		Access: event.AccessKind(j.Access), Lock: event.LockID(j.Lock),
+		Msg: event.MsgID(j.Msg), Locks: j.Locks, Step: j.Step,
+	}
+}
+
+// Save writes the recorder's events as JSON lines.
+func (r *Recorder) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.events {
+		if err := enc.Encode(toJSON(e)); err != nil {
+			return fmt.Errorf("trace: save: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a JSON-lines recording.
+func Load(r io.Reader) ([]event.Event, error) {
+	dec := json.NewDecoder(r)
+	var out []event.Event
+	for {
+		var j jsonEvent
+		if err := dec.Decode(&j); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: load: %w", err)
+		}
+		out = append(out, fromJSON(j))
+	}
+}
+
+// Feed replays a recorded stream into any set of observers (detectors),
+// exactly as if they had observed the execution live.
+func Feed(events []event.Event, observers ...interface{ OnEvent(event.Event) }) {
+	for _, e := range events {
+		for _, o := range observers {
+			o.OnEvent(e)
+		}
+	}
+}

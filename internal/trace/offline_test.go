@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/hb"
+	"racefuzzer/internal/hybrid"
+	"racefuzzer/internal/sched"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rec := New(0)
+	res := sched.Run(bench.Figure1(), sched.Config{Seed: 5, Observers: []sched.Observer{rec}})
+	if res.Steps == 0 {
+		t.Fatal("no steps")
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(rec.Events()) {
+		t.Fatalf("loaded %d events, recorded %d", len(loaded), len(rec.Events()))
+	}
+	for i, e := range rec.Events() {
+		if loaded[i].String() != e.String() {
+			t.Fatalf("event %d mismatch:\n  %v\n  %v", i, e, loaded[i])
+		}
+	}
+}
+
+// TestOfflineEqualsOnline: the detectors are pure functions of the event
+// stream, so running them offline on a recording must give the same pairs
+// as running them online.
+func TestOfflineEqualsOnline(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rec := New(0)
+		onHy := hybrid.New()
+		onHb := hb.New()
+		sched.Run(bench.Figure1(), sched.Config{
+			Seed: seed, Observers: []sched.Observer{rec, onHy, onHb},
+		})
+
+		var buf bytes.Buffer
+		if err := rec.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		events, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offHy := hybrid.New()
+		offHb := hb.New()
+		Feed(events, offHy, offHb)
+
+		if !samePairs(onHy.Pairs(), offHy.Pairs()) {
+			t.Fatalf("seed %d: hybrid offline %v != online %v", seed, offHy.Pairs(), onHy.Pairs())
+		}
+		if !samePairs(onHb.Pairs(), offHb.Pairs()) {
+			t.Fatalf("seed %d: hb offline %v != online %v", seed, offHb.Pairs(), onHb.Pairs())
+		}
+	}
+}
+
+func samePairs(a, b []event.StmtPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("no error on garbage input")
+	}
+}
+
+func TestSaveEmptyRecording(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(0).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Load(&buf)
+	if err != nil || len(events) != 0 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+}

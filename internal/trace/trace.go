@@ -1,0 +1,69 @@
+// Package trace records an execution's event stream for debugging and for
+// displaying replayed race-revealing schedules. RaceFuzzer itself never
+// needs a recording — replay is seed-based (§2.2) — so the recorder is an
+// optional observer used by the CLI's -trace mode and by tests.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"racefuzzer/internal/event"
+)
+
+// Recorder is a sched.Observer that keeps the last Cap events (0 = all).
+type Recorder struct {
+	// Cap bounds the recording as a ring of the most recent events.
+	Cap    int
+	events []event.Event
+	total  int
+}
+
+// New returns a recorder keeping at most cap events (0 = unbounded).
+func New(cap int) *Recorder { return &Recorder{Cap: cap} }
+
+// OnEvent implements sched.Observer.
+func (r *Recorder) OnEvent(e event.Event) {
+	r.total++
+	if r.Cap > 0 && len(r.events) == r.Cap {
+		copy(r.events, r.events[1:])
+		r.events[len(r.events)-1] = e
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events (oldest first).
+func (r *Recorder) Events() []event.Event { return r.events }
+
+// Total returns the total number of events observed, including any that
+// fell out of the ring.
+func (r *Recorder) Total() int { return r.total }
+
+// Dump renders the recording, one event per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	if r.Cap > 0 && r.total > len(r.events) {
+		fmt.Fprintf(&b, "... %d earlier events elided ...\n", r.total-len(r.events))
+	}
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FilterMem returns only the MEM events touching loc (all MEM events when
+// loc is event.NoLoc) — handy when inspecting one race.
+func (r *Recorder) FilterMem(loc event.MemLoc) []event.Event {
+	var out []event.Event
+	for _, e := range r.events {
+		if e.Kind != event.KindMem {
+			continue
+		}
+		if loc == event.NoLoc || e.Loc == loc {
+			out = append(out, e)
+		}
+	}
+	return out
+}

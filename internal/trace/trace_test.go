@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"racefuzzer/internal/event"
+)
+
+func mem(t event.ThreadID, loc event.MemLoc) event.Event {
+	return event.Event{Kind: event.KindMem, Thread: t, Loc: loc, Stmt: event.StmtFor("tr:s"), Step: int(loc)}
+}
+
+func TestUnboundedRecording(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 100; i++ {
+		r.OnEvent(mem(0, event.MemLoc(i)))
+	}
+	if r.Total() != 100 || len(r.Events()) != 100 {
+		t.Fatalf("total=%d len=%d", r.Total(), len(r.Events()))
+	}
+	if !strings.Contains(r.Dump(), "MEM") {
+		t.Fatal("dump missing events")
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 25; i++ {
+		r.OnEvent(mem(0, event.MemLoc(i)))
+	}
+	evs := r.Events()
+	if len(evs) != 10 || r.Total() != 25 {
+		t.Fatalf("len=%d total=%d", len(evs), r.Total())
+	}
+	if evs[0].Loc != 15 || evs[9].Loc != 24 {
+		t.Fatalf("ring contents wrong: first=%v last=%v", evs[0].Loc, evs[9].Loc)
+	}
+	if !strings.Contains(r.Dump(), "15 earlier events elided") {
+		t.Fatalf("dump = %q", r.Dump())
+	}
+}
+
+func TestFilterMem(t *testing.T) {
+	r := New(0)
+	r.OnEvent(mem(0, 1))
+	r.OnEvent(event.Event{Kind: event.KindSnd, Thread: 0, Msg: 1})
+	r.OnEvent(mem(1, 2))
+	r.OnEvent(mem(2, 1))
+	if got := r.FilterMem(1); len(got) != 2 {
+		t.Fatalf("filter loc 1 = %d events", len(got))
+	}
+	if got := r.FilterMem(event.NoLoc); len(got) != 3 {
+		t.Fatalf("filter all = %d events", len(got))
+	}
+}

@@ -1,0 +1,127 @@
+// Package vclock implements vector clocks, the mechanism the hybrid race
+// detection algorithm (§2.2) uses to compute the happens-before relation ≼
+// over MEM/SND/RCV events. A clock maps thread IDs to logical times; the
+// usual component-wise partial order realizes happens-before:
+//
+//   - events of one thread are ordered by program order (the thread ticks
+//     its own component after each event),
+//   - SND(g,t1) ≼ RCV(g,t2) is realized by shipping the sender's clock with
+//     the message and joining it into the receiver's clock,
+//   - transitivity is inherited from the component-wise order.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"racefuzzer/internal/event"
+)
+
+// VC is a vector clock. It is represented densely: index i holds thread i's
+// component. Thread IDs are small consecutive integers assigned by the
+// scheduler, so dense representation is both compact and fast. The zero
+// value is the all-zeros clock.
+type VC struct {
+	c []int32
+}
+
+// New returns an all-zeros clock.
+func New() *VC { return &VC{} }
+
+// Get returns t's component.
+func (v *VC) Get(t event.ThreadID) int32 {
+	if int(t) < 0 || int(t) >= len(v.c) {
+		return 0
+	}
+	return v.c[t]
+}
+
+// Set assigns t's component, growing the vector as needed.
+func (v *VC) Set(t event.ThreadID, n int32) {
+	v.grow(int(t) + 1)
+	v.c[t] = n
+}
+
+// Tick increments t's component and returns the new value. A thread ticks
+// its own clock after each event it performs.
+func (v *VC) Tick(t event.ThreadID) int32 {
+	v.grow(int(t) + 1)
+	v.c[t]++
+	return v.c[t]
+}
+
+func (v *VC) grow(n int) {
+	if n <= len(v.c) {
+		return
+	}
+	nc := make([]int32, n)
+	copy(nc, v.c)
+	v.c = nc
+}
+
+// Join sets v to the component-wise maximum of v and o. This is the receive
+// action: RCV(g, t) joins the clock that accompanied SND(g, ·).
+func (v *VC) Join(o *VC) {
+	v.grow(len(o.c))
+	for i, x := range o.c {
+		if x > v.c[i] {
+			v.c[i] = x
+		}
+	}
+}
+
+// Copy returns an independent copy of v. Snapshots taken at MEM events are
+// what the hybrid detector stores in its per-location histories.
+func (v *VC) Copy() *VC {
+	nc := make([]int32, len(v.c))
+	copy(nc, v.c)
+	return &VC{c: nc}
+}
+
+// LessEq reports whether v ≤ o component-wise, i.e. whether everything v
+// knows about has also been seen by o.
+func (v *VC) LessEq(o *VC) bool {
+	for i, x := range v.c {
+		var y int32
+		if i < len(o.c) {
+			y = o.c[i]
+		}
+		if x > y {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality (missing components are zero).
+func (v *VC) Equal(o *VC) bool { return v.LessEq(o) && o.LessEq(v) }
+
+// Concurrent reports whether neither v ≤ o nor o ≤ v: the two snapshots are
+// causally unordered. This is the ¬(e_i ≼ e_j) ∧ ¬(e_j ≼ e_i) conjunct of
+// the hybrid race condition.
+func (v *VC) Concurrent(o *VC) bool { return !v.LessEq(o) && !o.LessEq(v) }
+
+// HappenedBefore reports whether an event performed by thread t with clock
+// snapshot v happens-before a later point whose clock is o. Because v was
+// snapshotted when t performed the event, it suffices to compare t's own
+// component: the event is visible at o iff o has seen at least that many of
+// t's ticks.
+func HappenedBefore(v *VC, t event.ThreadID, o *VC) bool {
+	return v.Get(t) <= o.Get(t) && v.Get(t) > 0 || v.Get(t) == 0 && v.LessEq(o)
+}
+
+// Len returns the number of tracked components.
+func (v *VC) Len() int { return len(v.c) }
+
+// String renders the clock as {T0:3 T2:1} omitting zero components.
+func (v *VC) String() string {
+	var parts []string
+	for i, x := range v.c {
+		if x != 0 {
+			parts = append(parts, fmt.Sprintf("T%d:%d", i, x))
+		}
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, " ") + "}"
+}
