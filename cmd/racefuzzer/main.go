@@ -5,20 +5,30 @@
 //	racefuzzer -bench figure1                 # full two-phase analysis
 //	racefuzzer -bench cache4j -trials 200     # more fuzzing per pair
 //	racefuzzer -bench figure2 -pair 0 -replay 12345 -trace
+//	racefuzzer -bench figure1 -metrics -json runs.jsonl -progress
 //
 // The tool prints phase-1's potential races, then each pair's verdict:
 // whether RaceFuzzer confirmed it real, the race-creation probability, and
 // any exceptions exposed by random race resolution. Replays are exact: the
 // seed fully determines the schedule.
+//
+// Observability flags (see README "Observability"): -metrics prints a
+// campaign metrics table, -json writes one structured record per execution
+// (JSONL), -progress emits periodic campaign progress lines to stderr, and
+// -cpuprofile/-memprofile write pprof profiles of the campaign.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/core"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
 	"racefuzzer/internal/trace"
 )
@@ -35,8 +45,23 @@ func main() {
 		dump    = flag.Bool("trace", false, "with -replay: dump the replayed event trace")
 		dlMode  = flag.Bool("deadlocks", false, "run the deadlock-directed pipeline instead of races")
 		atMode  = flag.Bool("atomicity", false, "run the atomicity-directed pipeline instead of races")
+
+		metrics    = flag.Bool("metrics", false, "print the campaign metrics table after the run")
+		jsonLog    = flag.String("json", "", "write a structured JSONL run log to this file (one record per execution)")
+		progress   = flag.Bool("progress", false, "print periodic campaign progress lines to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
 	)
 	flag.Parse()
+	// A replay seed of 0 is legitimate (derived seeds can be 0 under negative
+	// base seeds), so "was -replay given" is tracked explicitly rather than
+	// by comparing against the zero default.
+	replaySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "replay" {
+			replaySet = true
+		}
+	})
 
 	if *list {
 		for _, b := range bench.All() {
@@ -58,9 +83,81 @@ func main() {
 		Phase1Trials: *phase1,
 		Phase2Trials: *trials,
 		MaxSteps:     b.MaxSteps,
+		Label:        b.Name,
 	}
 	if opts.Phase1Trials == 0 {
 		opts.Phase1Trials = b.Phase1Trials
+	}
+	if opts.Phase1Trials <= 0 {
+		opts.Phase1Trials = 3 // the pipeline default, printed below
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	// Assemble the observability chain: campaign metrics, JSONL log, progress.
+	var campaign *obs.CampaignMetrics
+	if *metrics {
+		campaign = obs.NewCampaignMetrics()
+		opts.Metrics = campaign
+	}
+	var sinks obs.MultiSink
+	var jsonl *obs.JSONLSink
+	if *jsonLog != "" {
+		f, err := os.Create(*jsonLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -json: %v\n", err)
+			os.Exit(1)
+		}
+		jsonl = obs.NewJSONLSink(f)
+		sinks = append(sinks, jsonl)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr, 2*time.Second)
+		sinks = append(sinks, prog)
+	}
+	if len(sinks) > 0 {
+		opts.Sink = sinks
+	}
+	finishObservers := func() {
+		prog.Finish()
+		if jsonl != nil {
+			if err := jsonl.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: -json: %v\n", err)
+			}
+		}
+		if campaign != nil {
+			fmt.Println()
+			fmt.Print(campaign.Snapshot().Table("campaign metrics").Render())
+		}
 	}
 
 	fmt.Printf("== %s: %s\n", b.Name, b.Description)
@@ -70,6 +167,7 @@ func main() {
 		for _, r := range reps {
 			fmt.Printf("  %v\n", r)
 		}
+		finishObservers()
 		return
 	}
 	if *atMode {
@@ -78,19 +176,21 @@ func main() {
 		for _, r := range reps {
 			fmt.Printf("  %v\n", r)
 		}
+		finishObservers()
 		return
 	}
 	pairs := core.DetectPotentialRaces(b.New(), opts)
 	fmt.Printf("phase 1 (hybrid detection, %d observations): %d potential racing pair(s)\n",
-		max(opts.Phase1Trials, 3), len(pairs))
+		opts.Phase1Trials, len(pairs))
 	for i, p := range pairs {
 		fmt.Printf("  [%d] %v\n", i, p)
 	}
 	if len(pairs) == 0 {
+		finishObservers()
 		return
 	}
 
-	if *replay != 0 {
+	if replaySet {
 		if *pairIdx < 0 || *pairIdx >= len(pairs) {
 			fmt.Fprintln(os.Stderr, "racefuzzer: -replay needs a valid -pair index")
 			os.Exit(2)
@@ -134,7 +234,7 @@ func main() {
 		if rep.IsReal {
 			realCount++
 			fmt.Printf("      replay a race-creating run with: -pair %d -replay %d\n", i, rep.FirstRaceSeed)
-			if rep.ExceptionRuns > 0 {
+			if rep.FirstExceptionTrial >= 0 {
 				excCount++
 				fmt.Printf("      replay an exception-throwing run with: -pair %d -replay %d\n", i, rep.FirstExceptionSeed)
 			}
@@ -142,11 +242,5 @@ func main() {
 	}
 	fmt.Printf("\nsummary: %d potential, %d real, %d with exceptions (paper row: %d potential, %d real)\n",
 		len(pairs), realCount, excCount, b.Paper.HybridRaces, b.Paper.RealRaces)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	finishObservers()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"racefuzzer/internal/atomizer"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
 )
 
@@ -20,12 +21,20 @@ func DetectAtomicityTargets(prog Program, o Options) []AtomicityTarget {
 	var out []AtomicityTarget
 	for i := 0; i < o.Phase1Trials; i++ {
 		det := atomizer.New()
-		sched.Run(prog, sched.Config{
+		var rm *obs.RunMetrics
+		if o.observing() {
+			rm = obs.NewRunMetrics()
+		}
+		res := sched.Run(prog, sched.Config{
 			Seed:      o.Seed + int64(i),
 			Policy:    sched.NewRandomPolicy(),
 			Observers: []sched.Observer{det},
 			MaxSteps:  o.MaxSteps,
+			Metrics:   rm,
 		})
+		if o.observing() {
+			o.emit(phase1Record("atomicity", i, o.Seed+int64(i), res))
+		}
 		for _, c := range det.Candidates() {
 			key := fmt.Sprintf("%d/%d", c.First, c.Second)
 			if seen[key] {
@@ -54,7 +63,11 @@ type AtomicityReport struct {
 	IsReal bool
 	// ExceptionRuns counts violating trials that also threw.
 	ExceptionRuns int
-	// FirstSeed replays a violating run (0 if none).
+	// FirstTrial is the 0-based index of the first violating trial, -1 when
+	// none (derived seeds can legitimately be 0, so the seed itself is not a
+	// sentinel).
+	FirstTrial int
+	// FirstSeed replays a violating run (meaningful when FirstTrial >= 0).
 	FirstSeed int64
 }
 
@@ -70,20 +83,36 @@ func (a AtomicityReport) String() string {
 // ConfirmAtomicity is the atomicity phase 2.
 func ConfirmAtomicity(prog Program, target AtomicityTarget, targetIndex int, o Options) AtomicityReport {
 	o = o.withDefaults()
-	rep := AtomicityReport{Target: target, Trials: o.Phase2Trials}
+	rep := AtomicityReport{Target: target, Trials: o.Phase2Trials, FirstTrial: -1}
 	for i := 0; i < o.Phase2Trials; i++ {
 		seed := pairSeed(o.Seed, targetIndex+9_000_000, i)
 		pol := NewAtomicityDirectedPolicy(target)
 		pol.MaxPostponeAge = o.MaxPostponeAge
-		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps})
-		if len(pol.Violations()) > 0 {
+		var rm *obs.RunMetrics
+		if o.observing() {
+			rm = obs.NewRunMetrics()
+		}
+		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+		violations := pol.Violations()
+		if len(violations) > 0 {
 			rep.ViolationRuns++
-			if rep.FirstSeed == 0 {
+			if rep.FirstTrial < 0 {
+				rep.FirstTrial = i
 				rep.FirstSeed = seed
 			}
 			if len(res.Exceptions) > 0 {
 				rep.ExceptionRuns++
 			}
+		}
+		if o.observing() {
+			rec := runRecord("atomicity", targetIndex, i, seed, res)
+			rec.Pair = fmt.Sprintf("(%s, %s)", target.First, target.Second)
+			rec.RaceCreated = len(violations) > 0
+			rec.Races = len(violations)
+			if len(violations) > 0 {
+				rec.StepsToRace = violations[0].Step
+			}
+			o.emit(rec)
 		}
 	}
 	rep.IsReal = rep.ViolationRuns > 0

@@ -5,6 +5,7 @@ import (
 
 	"racefuzzer/internal/deadlock"
 	"racefuzzer/internal/event"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
 )
 
@@ -35,12 +36,20 @@ func DetectPotentialDeadlocksWithPolicy(prog Program, o Options, pol sched.Polic
 		if p == nil {
 			p = sched.NewRandomPolicy()
 		}
-		sched.Run(prog, sched.Config{
+		var rm *obs.RunMetrics
+		if o.observing() {
+			rm = obs.NewRunMetrics()
+		}
+		res := sched.Run(prog, sched.Config{
 			Seed:      o.Seed + int64(i),
 			Policy:    p,
 			Observers: []sched.Observer{det},
 			MaxSteps:  o.MaxSteps,
+			Metrics:   rm,
 		})
+		if o.observing() {
+			o.emit(phase1Record("deadlock", i, o.Seed+int64(i), res))
+		}
 		for _, c := range det.Cycles() {
 			k := key{c.Locks[0], c.Locks[1]}
 			if _, ok := union[k]; !ok {
@@ -68,7 +77,11 @@ type DeadlockReport struct {
 	Probability float64
 	// IsReal reports whether any trial created the deadlock.
 	IsReal bool
-	// FirstSeed replays a deadlocking run (0 if none).
+	// FirstTrial is the 0-based index of the first deadlocking trial, -1
+	// when none (derived seeds can legitimately be 0, so the seed itself is
+	// not a sentinel).
+	FirstTrial int
+	// FirstSeed replays a deadlocking run (meaningful when FirstTrial >= 0).
 	FirstSeed int64
 }
 
@@ -85,19 +98,35 @@ func (d DeadlockReport) String() string {
 // DeadlockDirectedPolicy focused on the cycle's lock pair.
 func ConfirmDeadlock(prog Program, cycle deadlock.Cycle, cycleIndex int, o Options) DeadlockReport {
 	o = o.withDefaults()
-	rep := DeadlockReport{Cycle: cycle, Trials: o.Phase2Trials}
+	rep := DeadlockReport{Cycle: cycle, Trials: o.Phase2Trials, FirstTrial: -1}
 	target := [2]event.LockID{cycle.Locks[0], cycle.Locks[1]}
 	for i := 0; i < o.Phase2Trials; i++ {
 		seed := pairSeed(o.Seed, cycleIndex+7_000_000, i)
 		pol := NewDeadlockDirectedPolicy()
 		pol.TargetLocks = &target
 		pol.MaxPostponeAge = o.MaxPostponeAge
-		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps})
-		if res.Deadlock != nil && deadlockInvolves(res.Deadlock, target) {
+		var rm *obs.RunMetrics
+		if o.observing() {
+			rm = obs.NewRunMetrics()
+		}
+		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+		hit := res.Deadlock != nil && deadlockInvolves(res.Deadlock, target)
+		if hit {
 			rep.DeadlockRuns++
-			if rep.FirstSeed == 0 {
+			if rep.FirstTrial < 0 {
+				rep.FirstTrial = i
 				rep.FirstSeed = seed
 			}
+		}
+		if o.observing() {
+			rec := runRecord("deadlock", cycleIndex, i, seed, res)
+			rec.Pair = fmt.Sprintf("(%s, %s)", cycle.Locks[0], cycle.Locks[1])
+			rec.RaceCreated = hit
+			if hit {
+				rec.Races = 1
+				rec.StepsToRace = res.Deadlock.Step
+			}
+			o.emit(rec)
 		}
 	}
 	rep.IsReal = rep.DeadlockRuns > 0

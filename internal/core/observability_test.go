@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/obs"
+)
+
+// TestFirstRaceSeedZeroIsUsable pins the zero-seed sentinel fix: with base
+// seed -1, pairSeed(-1, 0, 0) == 0, so the first race-creating trial has the
+// perfectly legitimate seed 0. The trial index, not the seed, must signal
+// "a race happened".
+func TestFirstRaceSeedZeroIsUsable(t *testing.T) {
+	if s := pairSeed(-1, 0, 0); s != 0 {
+		t.Fatalf("pairSeed(-1,0,0) = %d, test premise broken", s)
+	}
+	rep := FuzzPair(bench.Figure2(5), bench.Fig2Pair, 0, Options{Seed: -1, Phase2Trials: 5})
+	if !rep.IsReal {
+		t.Fatalf("figure2 race not confirmed: %v", rep)
+	}
+	if rep.FirstRaceTrial != 0 {
+		t.Fatalf("FirstRaceTrial = %d, want 0", rep.FirstRaceTrial)
+	}
+	if rep.FirstRaceSeed != 0 {
+		t.Fatalf("FirstRaceSeed = %d, want 0", rep.FirstRaceSeed)
+	}
+	// The seed-0 run must replay to the same outcome.
+	run := Replay(bench.Figure2(5), bench.Fig2Pair, 0, Options{})
+	if !run.RaceCreated {
+		t.Fatal("seed-0 replay did not recreate the race")
+	}
+}
+
+func TestFirstTrialSentinelWhenNothingHappens(t *testing.T) {
+	// Figure 1's x pair is a false alarm: no trial confirms it, so both
+	// trial indices stay -1 even though seeds were consumed.
+	rep := FuzzPair(bench.Figure1(), bench.Fig1PairX, 0, Options{Seed: 1, Phase2Trials: 10})
+	if rep.IsReal {
+		t.Fatalf("x pair unexpectedly confirmed: %v", rep)
+	}
+	if rep.FirstRaceTrial != -1 || rep.FirstExceptionTrial != -1 {
+		t.Fatalf("sentinels = %d/%d, want -1/-1", rep.FirstRaceTrial, rep.FirstExceptionTrial)
+	}
+}
+
+// collectSink records every emitted run record.
+type collectSink struct{ recs []obs.RunRecord }
+
+func (c *collectSink) Emit(rec obs.RunRecord) { c.recs = append(c.recs, rec) }
+
+func TestFuzzPairEmitsOneRecordPerTrial(t *testing.T) {
+	campaign := obs.NewCampaignMetrics()
+	sink := &collectSink{}
+	trials := 8
+	rep := FuzzPair(bench.Figure2(5), bench.Fig2Pair, 0, Options{
+		Seed: 3, Phase2Trials: trials, Label: "fig2",
+		Metrics: campaign, Sink: sink,
+	})
+	if len(sink.recs) != trials {
+		t.Fatalf("emitted %d records, want %d", len(sink.recs), trials)
+	}
+	if campaign.Runs() != int64(trials) {
+		t.Fatalf("campaign aggregated %d runs, want %d", campaign.Runs(), trials)
+	}
+	for i, rec := range sink.recs {
+		if rec.Label != "fig2" || rec.Phase != 2 || rec.Kind != "race" {
+			t.Fatalf("record %d mislabelled: %+v", i, rec)
+		}
+		if rec.Trial != i || rec.Seed != pairSeed(3, 0, i) {
+			t.Fatalf("record %d trial/seed = %d/%d", i, rec.Trial, rec.Seed)
+		}
+		if rec.Stats == nil {
+			t.Fatalf("record %d missing stats", i)
+		}
+		if rec.RaceCreated && rec.StepsToRace < 0 {
+			t.Fatalf("record %d created a race but StepsToRace = %d", i, rec.StepsToRace)
+		}
+	}
+	// Per-pair aggregates come from the per-run stats.
+	if rep.TotalDecisions <= 0 || rep.TotalSwitches <= 0 || rep.TotalPostpones <= 0 {
+		t.Fatalf("aggregates empty: %+v", rep)
+	}
+	if int(rep.StepsToRace.Count) != rep.RaceRuns {
+		t.Fatalf("steps-to-race count %d != race runs %d", rep.StepsToRace.Count, rep.RaceRuns)
+	}
+}
+
+func TestAnalyzeAggregatesCampaignMetrics(t *testing.T) {
+	campaign := obs.NewCampaignMetrics()
+	o := Options{Seed: 1, Phase1Trials: 4, Phase2Trials: 10, Metrics: campaign}
+	rep := Analyze(bench.Figure1(), o)
+	wantRuns := int64(o.Phase1Trials + o.Phase2Trials*len(rep.Potential))
+	if campaign.Runs() != wantRuns {
+		t.Fatalf("campaign runs = %d, want %d", campaign.Runs(), wantRuns)
+	}
+	if rep.TotalSteps() <= 0 || rep.TotalDecisions() <= 0 {
+		t.Fatalf("report totals empty: steps=%d decisions=%d",
+			rep.TotalSteps(), rep.TotalDecisions())
+	}
+	s := campaign.Snapshot()
+	counters := map[string]int64{}
+	for _, nc := range s.Counters {
+		counters[nc.Name] = nc.Value
+	}
+	if counters["runs.total"] != wantRuns || counters["runs.phase1"] != int64(o.Phase1Trials) {
+		t.Fatalf("counters = %v", counters)
+	}
+	if counters["sched.steps"] <= 0 || counters["policy.decisions"] <= 0 {
+		t.Fatalf("scheduler counters empty: %v", counters)
+	}
+}
+
+// TestObservationDoesNotChangeVerdicts: attaching metrics must not perturb
+// any schedule — identical seeds yield identical reports with and without
+// observation.
+func TestObservationDoesNotChangeVerdicts(t *testing.T) {
+	plain := FuzzPair(bench.Figure1(), bench.Fig1PairZ, 0, Options{Seed: 5, Phase2Trials: 20})
+	observed := FuzzPair(bench.Figure1(), bench.Fig1PairZ, 0, Options{
+		Seed: 5, Phase2Trials: 20, Metrics: obs.NewCampaignMetrics(),
+	})
+	if plain.RaceRuns != observed.RaceRuns ||
+		plain.ExceptionRuns != observed.ExceptionRuns ||
+		plain.FirstRaceTrial != observed.FirstRaceTrial ||
+		plain.FirstRaceSeed != observed.FirstRaceSeed ||
+		plain.TotalSteps != observed.TotalSteps {
+		t.Fatalf("observation changed outcomes:\nplain    = %+v\nobserved = %+v", plain, observed)
+	}
+}

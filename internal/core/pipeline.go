@@ -7,6 +7,7 @@ import (
 
 	"racefuzzer/internal/event"
 	"racefuzzer/internal/hybrid"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
 )
 
@@ -29,6 +30,69 @@ type Options struct {
 	MaxSteps int
 	// MaxPostponeAge configures the livelock monitor (see RaceFuzzerPolicy).
 	MaxPostponeAge int
+
+	// Label annotates telemetry records with the campaign's name (usually
+	// the benchmark under test).
+	Label string
+	// Metrics, when non-nil, aggregates per-run telemetry across the whole
+	// campaign (phase 1 and phase 2).
+	Metrics *obs.CampaignMetrics
+	// Sink, when non-nil, receives one structured record per execution —
+	// the JSONL run log and/or progress reporting.
+	Sink obs.Sink
+}
+
+// observing reports whether per-run telemetry should be collected at all.
+func (o Options) observing() bool { return o.Metrics != nil || o.Sink != nil }
+
+// emit delivers one run record to the campaign aggregator and the sink.
+func (o Options) emit(rec obs.RunRecord) {
+	rec.Label = o.Label
+	o.Metrics.Emit(rec)
+	obs.Emit(o.Sink, rec)
+}
+
+// phase1Record assembles the record of one phase-1 detector observation.
+func phase1Record(kind string, trial int, seed int64, res *sched.Result) obs.RunRecord {
+	rec := obs.RunRecord{
+		Phase: 1, Kind: kind, PairIndex: -1, Trial: trial,
+		Seed: seed, StepsToRace: -1,
+		Deadlock: res.Deadlock != nil, Aborted: res.Aborted,
+		Steps: res.Steps, Stats: res.Stats,
+	}
+	if res.Stats != nil {
+		rec.DurationSec = res.Stats.Wall.Seconds()
+	}
+	return rec
+}
+
+// runRecord assembles the common fields of a phase-2 record from a
+// scheduler result.
+func runRecord(kind string, pairIndex, trial int, seed int64, res *sched.Result) obs.RunRecord {
+	rec := obs.RunRecord{
+		Phase:       2,
+		Kind:        kind,
+		PairIndex:   pairIndex,
+		Trial:       trial,
+		Seed:        seed,
+		StepsToRace: -1,
+		Deadlock:    res.Deadlock != nil,
+		Aborted:     res.Aborted,
+		Steps:       res.Steps,
+		Stats:       res.Stats,
+	}
+	seen := make(map[string]bool)
+	for _, ex := range res.Exceptions {
+		k := exceptionKind(ex)
+		if !seen[k] {
+			seen[k] = true
+			rec.Exceptions = append(rec.Exceptions, k)
+		}
+	}
+	if res.Stats != nil {
+		rec.DurationSec = res.Stats.Wall.Seconds()
+	}
+	return rec
 }
 
 func (o Options) withDefaults() Options {
@@ -54,14 +118,22 @@ func DetectPotentialRaces(prog Program, o Options) []event.StmtPair {
 	union := make(map[event.StmtPair]bool)
 	for i := 0; i < o.Phase1Trials; i++ {
 		det := hybrid.New()
-		sched.Run(prog, sched.Config{
+		var rm *obs.RunMetrics
+		if o.observing() {
+			rm = obs.NewRunMetrics()
+		}
+		res := sched.Run(prog, sched.Config{
 			Seed:      o.Seed + int64(i),
 			Policy:    sched.NewRandomPolicy(),
 			Observers: []sched.Observer{det},
 			MaxSteps:  o.MaxSteps,
+			Metrics:   rm,
 		})
 		for _, p := range det.Pairs() {
 			union[p] = true
+		}
+		if o.observing() {
+			o.emit(phase1Record("race", i, o.Seed+int64(i), res))
 		}
 	}
 	out := make([]event.StmtPair, 0, len(union))
@@ -85,9 +157,15 @@ type RunReport struct {
 // identical execution — the paper's lightweight replay.
 func FuzzRun(prog Program, pair event.StmtPair, seed int64, o Options) *RunReport {
 	pol := &RaceFuzzerPolicy{Target: pair, MaxPostponeAge: o.MaxPostponeAge}
+	var rm *obs.RunMetrics
+	if o.observing() {
+		rm = obs.NewRunMetrics()
+		pol.Metrics = rm
+	}
 	res := sched.Run(prog, sched.Config{
 		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
-		Name: fmt.Sprintf("racefuzzer%v", pair),
+		Name:    fmt.Sprintf("racefuzzer%v", pair),
+		Metrics: rm,
 	})
 	return &RunReport{Seed: seed, Result: res, Races: pol.Races(), RaceCreated: pol.RaceCreated()}
 }
@@ -119,10 +197,27 @@ type PairReport struct {
 	ExceptionKinds []string
 	// DeadlockRuns counts trials ending in a real deadlock.
 	DeadlockRuns int
+	// FirstRaceTrial and FirstExceptionTrial are the 0-based indices of the
+	// first race-creating and first exception-throwing trial, -1 when none
+	// occurred. They are the authoritative "did it happen" signals: a derived
+	// seed can legitimately be 0, so the seeds below carry no sentinel.
+	FirstRaceTrial      int
+	FirstExceptionTrial int
 	// FirstRaceSeed and FirstExceptionSeed replay a race-creating and an
-	// exception-throwing trial (0 when none occurred).
+	// exception-throwing trial. Only meaningful when the corresponding trial
+	// index is >= 0.
 	FirstRaceSeed      int64
 	FirstExceptionSeed int64
+	// Telemetry aggregated over the trials. TotalSteps is always collected;
+	// the remaining fields need Options metrics/sink observation enabled
+	// (they come from the per-run RunStats) and are zero otherwise.
+	TotalSteps     int64
+	TotalSwitches  int64
+	TotalDecisions int64
+	TotalPostpones int64
+	// StepsToRace is the distribution of the scheduler step at which the
+	// race was created, over race-creating trials (empty unless observing).
+	StepsToRace obs.HistogramSnapshot
 }
 
 func (p PairReport) String() string {
@@ -145,19 +240,29 @@ func (p PairReport) String() string {
 // explore different schedules.
 func FuzzPair(prog Program, pair event.StmtPair, pairIndex int, o Options) PairReport {
 	o = o.withDefaults()
-	rep := PairReport{Pair: pair, Trials: o.Phase2Trials}
+	rep := PairReport{Pair: pair, Trials: o.Phase2Trials, FirstRaceTrial: -1, FirstExceptionTrial: -1}
 	kinds := make(map[string]bool)
+	var stepsToRace *obs.Histogram
+	if o.observing() {
+		stepsToRace = obs.NewStepsToRaceHistogram()
+	}
 	for i := 0; i < o.Phase2Trials; i++ {
 		seed := pairSeed(o.Seed, pairIndex, i)
 		run := FuzzRun(prog, pair, seed, o)
+		rep.TotalSteps += int64(run.Result.Steps)
+		firstRaceStep := -1
 		if run.RaceCreated {
+			firstRaceStep = run.Races[0].Step
+			stepsToRace.Observe(float64(firstRaceStep))
 			rep.RaceRuns++
-			if rep.FirstRaceSeed == 0 {
+			if rep.FirstRaceTrial < 0 {
+				rep.FirstRaceTrial = i
 				rep.FirstRaceSeed = seed
 			}
 			if len(run.Result.Exceptions) > 0 {
 				rep.ExceptionRuns++
-				if rep.FirstExceptionSeed == 0 {
+				if rep.FirstExceptionTrial < 0 {
+					rep.FirstExceptionTrial = i
 					rep.FirstExceptionSeed = seed
 				}
 				for _, ex := range run.Result.Exceptions {
@@ -168,7 +273,21 @@ func FuzzPair(prog Program, pair event.StmtPair, pairIndex int, o Options) PairR
 		if run.Result.Deadlock != nil {
 			rep.DeadlockRuns++
 		}
+		if stats := run.Result.Stats; stats != nil {
+			rep.TotalSwitches += int64(stats.Switches)
+			rep.TotalDecisions += int64(stats.Decisions)
+			rep.TotalPostpones += int64(stats.Postpones)
+		}
+		if o.observing() {
+			rec := runRecord("race", pairIndex, i, seed, run.Result)
+			rec.Pair = pair.String()
+			rec.RaceCreated = run.RaceCreated
+			rec.Races = len(run.Races)
+			rec.StepsToRace = firstRaceStep
+			o.emit(rec)
+		}
 	}
+	rep.StepsToRace = stepsToRace.Snapshot()
 	rep.IsReal = rep.RaceRuns > 0
 	rep.Probability = float64(rep.RaceRuns) / float64(rep.Trials)
 	for k := range kinds {
@@ -224,7 +343,12 @@ func FuzzSet(prog Program, pairs []event.StmtPair, o Options) SetReport {
 		seed := pairSeed(o.Seed, 3_000_000, i)
 		pol := NewRaceFuzzerSetPolicy(pairs)
 		pol.MaxPostponeAge = o.MaxPostponeAge
-		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps})
+		var rm *obs.RunMetrics
+		if o.observing() {
+			rm = obs.NewRunMetrics()
+			pol.Metrics = rm
+		}
+		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
 		seen := make(map[event.StmtPair]bool)
 		for _, rr := range pol.Races() {
 			if !seen[rr.Target] {
@@ -234,6 +358,15 @@ func FuzzSet(prog Program, pairs []event.StmtPair, o Options) SetReport {
 		}
 		if pol.RaceCreated() && len(res.Exceptions) > 0 {
 			rep.ExceptionRuns++
+		}
+		if o.observing() {
+			rec := runRecord("race-set", -1, i, seed, res)
+			rec.RaceCreated = pol.RaceCreated()
+			rec.Races = len(pol.Races())
+			if races := pol.Races(); len(races) > 0 {
+				rec.StepsToRace = races[0].Step
+			}
+			o.emit(rec)
 		}
 	}
 	return rep
@@ -284,6 +417,25 @@ func (r *Report) MeanProbability() float64 {
 		sum += p.Probability
 	}
 	return sum / float64(len(real))
+}
+
+// TotalSteps sums phase-2 scheduler steps over all pairs.
+func (r *Report) TotalSteps() int64 {
+	var n int64
+	for _, p := range r.Pairs {
+		n += p.TotalSteps
+	}
+	return n
+}
+
+// TotalDecisions sums the race-directed policy's scheduling decisions over
+// all pairs (zero unless the campaign ran with observation enabled).
+func (r *Report) TotalDecisions() int64 {
+	var n int64
+	for _, p := range r.Pairs {
+		n += p.TotalDecisions
+	}
+	return n
 }
 
 // Analyze runs the complete pipeline: phase 1, then phase 2 for every

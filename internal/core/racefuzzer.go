@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"racefuzzer/internal/event"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/rng"
 	"racefuzzer/internal/sched"
 )
@@ -95,6 +96,10 @@ type RaceFuzzerPolicy struct {
 	// Resolution selects the race-resolution strategy (ablation knob;
 	// the zero value is the paper's random resolution).
 	Resolution ResolutionMode
+	// Metrics, when non-nil, receives postpone/resume/livelock-breaker and
+	// decision counts. Probe calls are nil-safe, so the off path costs one
+	// nil check per event.
+	Metrics *obs.RunMetrics
 
 	postponed map[event.ThreadID]int // thread → step at which it was postponed
 	// justReleased marks threads evicted from postponed (line 26 or the
@@ -194,6 +199,7 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 				delete(p.postponed, tid)
 				p.justReleased[tid] = true
 				p.aged++
+				p.Metrics.LivelockBreak()
 			}
 		}
 	}
@@ -215,12 +221,14 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 		delete(p.postponed, evicted)
 		p.justReleased[evicted] = true
 		p.released++
+		p.Metrics.Resume()
 		return sched.Decision{}
 	}
 	t := cand[r.Intn(len(cand))]
 	op := v.Op(t)
 
 	p.steps++
+	p.Metrics.Decision()
 	if p.justReleased[t] {
 		// An evicted thread executes its pending statement unconditionally.
 		delete(p.justReleased, t)
@@ -266,6 +274,7 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 			}
 			p.races = append(p.races, rec)
 			p.postponed[t] = v.Step // line 14
+			p.Metrics.Postpone()
 			for _, tid := range races {
 				delete(p.postponed, tid) // line 17
 			}
@@ -274,6 +283,7 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 		}
 		// Wait for a race to happen (line 21).
 		p.postponed[t] = v.Step
+		p.Metrics.Postpone()
 		return sched.Decision{}
 	}
 	// Trivial case: execute the next statement (line 24).

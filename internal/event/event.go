@@ -208,6 +208,10 @@ const (
 	KindLock
 	// KindUnlock is a lock-release event.
 	KindUnlock
+
+	// KindCount is the number of event kinds; telemetry indexes per-kind
+	// counters with it.
+	KindCount
 )
 
 func (k Kind) String() string {

@@ -12,6 +12,7 @@ import (
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/core"
 	"racefuzzer/internal/hybrid"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/report"
 	"racefuzzer/internal/sched"
 )
@@ -28,6 +29,12 @@ type Options struct {
 	BaselineTrials int
 	// TimingRuns is the number of runs averaged per runtime column. Default 5.
 	TimingRuns int
+	// Metrics, when non-nil, aggregates pipeline telemetry across every
+	// benchmark measured by this harness invocation.
+	Metrics *obs.CampaignMetrics
+	// Sink, when non-nil, receives one structured record per pipeline
+	// execution (JSONL run logs, progress reporting).
+	Sink obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +120,9 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 		Phase1Trials: b.Phase1Trials,
 		Phase2Trials: o.Phase2Trials,
 		MaxSteps:     b.MaxSteps,
+		Label:        b.Name,
+		Metrics:      o.Metrics,
+		Sink:         o.Sink,
 	}
 	rep := core.Analyze(b.New(), opts)
 	row.Potential = len(rep.Potential)

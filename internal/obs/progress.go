@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a Sink that prints periodic one-line campaign summaries —
+// feedback for long campaigns without drowning stdout in per-run noise.
+// It rate-limits by wall clock, printing at most one line per Every.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every time.Duration
+	now   func() time.Time // test seam
+
+	start time.Time
+	last  time.Time
+
+	runs, races, exceptions, deadlocks int64
+	lastPair                           string
+}
+
+// NewProgress reports to w at most once per every (default 2s).
+func NewProgress(w io.Writer, every time.Duration) *Progress {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	return &Progress{w: w, every: every, now: time.Now}
+}
+
+// Emit implements Sink.
+func (p *Progress) Emit(rec RunRecord) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if p.start.IsZero() {
+		p.start = now
+		p.last = now
+	}
+	p.runs++
+	if rec.RaceCreated {
+		p.races++
+	}
+	if len(rec.Exceptions) > 0 {
+		p.exceptions++
+	}
+	if rec.Deadlock {
+		p.deadlocks++
+	}
+	if rec.Pair != "" {
+		p.lastPair = rec.Pair
+	}
+	if now.Sub(p.last) >= p.every {
+		p.last = now
+		p.lineLocked(now)
+	}
+}
+
+// Finish prints one final summary line (if any runs were recorded).
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.runs > 0 {
+		p.lineLocked(p.now())
+	}
+}
+
+func (p *Progress) lineLocked(now time.Time) {
+	elapsed := now.Sub(p.start).Round(100 * time.Millisecond)
+	line := fmt.Sprintf("progress: runs=%d races=%d exceptions=%d deadlocks=%d elapsed=%s",
+		p.runs, p.races, p.exceptions, p.deadlocks, elapsed)
+	if p.lastPair != "" {
+		line += " target=" + p.lastPair
+	}
+	fmt.Fprintln(p.w, line)
+}

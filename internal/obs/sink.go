@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// RunRecord is one structured log record: a single execution of the
+// pipeline (one phase-1 observation or one phase-2 directed run). It is the
+// JSONL schema written by JSONLSink and the unit CampaignMetrics aggregates.
+type RunRecord struct {
+	// Label names the campaign (usually the benchmark name).
+	Label string `json:"label,omitempty"`
+	// Phase is 1 (detector observation) or 2 (directed run).
+	Phase int `json:"phase"`
+	// Kind names the directed pipeline ("race", "deadlock", "atomicity");
+	// empty for plain phase-1 observations.
+	Kind string `json:"kind,omitempty"`
+	// Pair is the rendered target (statement pair, lock pair, atomic block).
+	Pair string `json:"pair,omitempty"`
+	// PairIndex is the target's index in the phase-1 report (-1 for phase 1).
+	PairIndex int `json:"pairIndex"`
+	// Trial is the 0-based trial index within the target's campaign.
+	Trial int `json:"trial"`
+	// Seed replays this exact execution.
+	Seed int64 `json:"seed"`
+	// RaceCreated reports whether the directed goal was reached (real race /
+	// real deadlock / real violation).
+	RaceCreated bool `json:"raceCreated"`
+	// Races is the number of goal events created in this run.
+	Races int `json:"races,omitempty"`
+	// StepsToRace is the scheduler step of the first created race (-1 when
+	// none).
+	StepsToRace int `json:"stepsToRace"`
+	// Exceptions lists the distinct model-exception kinds thrown.
+	Exceptions []string `json:"exceptions,omitempty"`
+	// Deadlock reports whether the run ended in a real deadlock.
+	Deadlock bool `json:"deadlock,omitempty"`
+	// Aborted reports whether the run hit its step bound.
+	Aborted bool `json:"aborted,omitempty"`
+	// Steps is the run's scheduler step count.
+	Steps int `json:"steps"`
+	// DurationSec is the run's wall-clock duration in seconds (0 when the
+	// run was not timed).
+	DurationSec float64 `json:"durationSec"`
+
+	// Stats carries the full scheduler telemetry when metrics were attached.
+	// It rides along for in-process consumers (CampaignMetrics, Progress)
+	// and is excluded from the JSONL schema, which stays one flat record.
+	Stats *RunStats `json:"-"`
+}
+
+// Sink consumes run records. Implementations must be safe for sequential
+// use from the campaign goroutine; Emit must not block on the schedule
+// (sinks run between executions, never inside one).
+type Sink interface {
+	Emit(rec RunRecord)
+}
+
+// MultiSink fans records out to several sinks.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(rec RunRecord) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(rec)
+		}
+	}
+}
+
+// Emit sends rec to s if s is non-nil — the nil-safe call instrumentation
+// sites use.
+func Emit(s Sink, rec RunRecord) {
+	if s != nil {
+		s.Emit(rec)
+	}
+}
+
+// JSONLSink writes one JSON object per record, newline-delimited, through a
+// buffered writer. Close (or Flush) must be called to drain the buffer.
+// The first write error is retained and reported by Err; later emits are
+// dropped.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(rec RunRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(rec)
+}
+
+// Flush drains the buffer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes and closes the underlying writer (when closable).
+func (s *JSONLSink) Close() error {
+	ferr := s.Flush()
+	s.mu.Lock()
+	c := s.c
+	s.c = nil
+	s.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); ferr == nil {
+			return cerr
+		}
+	}
+	return ferr
+}

@@ -33,15 +33,23 @@ func (t *Table) AddRow(cells ...any) {
 // Len returns the number of data rows.
 func (t *Table) Len() int { return len(t.rows) }
 
-// Render returns the aligned table as a string.
+// Render returns the aligned table as a string. Ragged rows are fine:
+// rows shorter than the header leave trailing cells empty, and rows longer
+// than the header get extra (unheaded) columns.
 func (t *Table) Render() string {
-	widths := make([]int, len(t.Headers))
+	cols := len(t.Headers)
+	for _, row := range t.rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -41,6 +41,70 @@ func TestTableNoTitle(t *testing.T) {
 	}
 }
 
+func TestTableRaggedRows(t *testing.T) {
+	// Rows with fewer cells than headers render with trailing cells empty.
+	tab := NewTable("ragged", "a", "b", "c")
+	tab.AddRow("x")
+	tab.AddRow("y", 2)
+	tab.AddRow("z", 3, "full")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "x") || strings.TrimSpace(lines[3]) != "x" {
+		t.Fatalf("short row rendered as %q", lines[3])
+	}
+	if !strings.Contains(lines[5], "full") {
+		t.Fatalf("full row rendered as %q", lines[5])
+	}
+}
+
+func TestTableRowsWiderThanHeader(t *testing.T) {
+	// Rows with more cells than headers must not panic; extra columns render.
+	tab := NewTable("wide", "only")
+	tab.AddRow("a", "b", "c")
+	out := tab.Render()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "c") {
+		t.Fatalf("extra cells missing:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tab := NewTable("empty", "h1", "h2")
+	if tab.Len() != 0 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // title, header, separator — no data rows
+		t.Fatalf("empty table rendered %d lines:\n%s", len(lines), out)
+	}
+	// Entirely empty table (no headers either) still renders without panic.
+	none := NewTable("")
+	if got := none.Render(); !strings.Contains(got, "\n") {
+		t.Fatalf("headerless render = %q", got)
+	}
+}
+
+func TestFormatterSentinels(t *testing.T) {
+	// The negative-sentinel convention: -1 (or any negative) means "not
+	// reported" and renders as a dash in every formatter.
+	if Num(-0.001) != "-" {
+		t.Fatalf("Num(-0.001) = %q", Num(-0.001))
+	}
+	if Secs(-1) != "-" {
+		t.Fatalf("Secs(-1) = %q", Secs(-1))
+	}
+	if IntOrDash(-1) != "-" || IntOrDash(0) != "0" {
+		t.Fatalf("IntOrDash sentinel wrong: %q %q", IntOrDash(-1), IntOrDash(0))
+	}
+	// Zero is a value, not a sentinel.
+	if Num(0) != "0.00" || Secs(0) != "0.0000" {
+		t.Fatalf("zero mis-rendered: %q %q", Num(0), Secs(0))
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if Num(-1) != "-" || Num(0.5) != "0.50" {
 		t.Fatal("Num wrong")

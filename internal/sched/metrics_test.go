@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/obs"
+)
+
+func TestRunStatsPopulated(t *testing.T) {
+	m := obs.NewRunMetrics()
+	var final int
+	res := Run(counterProgram(3, 10, &final), Config{Seed: 7, Metrics: m})
+	s := res.Stats
+	if s == nil {
+		t.Fatal("Stats nil with Metrics attached")
+	}
+	if s.Steps != res.Steps {
+		t.Fatalf("stats steps = %d, result steps = %d", s.Steps, res.Steps)
+	}
+	// Three workers interleaving under one lock must context-switch at least
+	// twice (one entry per worker) but never more than once per step.
+	if s.Switches < 2 || s.Switches >= s.Steps {
+		t.Fatalf("switches = %d (steps %d)", s.Switches, s.Steps)
+	}
+	// 3 workers x 10 iterations x (acquire, read, write, release).
+	if s.EventCount(event.KindLock) != 30 || s.EventCount(event.KindUnlock) != 30 {
+		t.Fatalf("lock/unlock events = %d/%d",
+			s.EventCount(event.KindLock), s.EventCount(event.KindUnlock))
+	}
+	if s.EventCount(event.KindMem) != 60 {
+		t.Fatalf("mem events = %d", s.EventCount(event.KindMem))
+	}
+	// Every scheduling round observes the enabled-thread count.
+	if s.Enabled.Count == 0 || s.Enabled.Max < 2 {
+		t.Fatalf("enabled histogram = %+v", s.Enabled)
+	}
+	if s.Wall <= 0 {
+		t.Fatalf("wall = %v", s.Wall)
+	}
+}
+
+func TestRunStatsNilWhenMetricsAbsent(t *testing.T) {
+	var final int
+	res := Run(counterProgram(2, 5, &final), Config{Seed: 7})
+	if res.Stats != nil {
+		t.Fatalf("Stats = %+v without Metrics", res.Stats)
+	}
+}
+
+func TestMetricsDoNotPerturbSchedule(t *testing.T) {
+	trace := func(m *obs.RunMetrics) []string {
+		rec := &recorder{}
+		var final int
+		Run(counterProgram(3, 10, &final),
+			Config{Seed: 42, Observers: []Observer{rec}, Metrics: m})
+		return rec.lines
+	}
+	bare := trace(nil)
+	instrumented := trace(obs.NewRunMetrics())
+	if len(bare) != len(instrumented) {
+		t.Fatalf("event counts differ: %d vs %d", len(bare), len(instrumented))
+	}
+	for i := range bare {
+		if bare[i] != instrumented[i] {
+			t.Fatalf("schedules diverge at event %d: %q vs %q", i, bare[i], instrumented[i])
+		}
+	}
+}

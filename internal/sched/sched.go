@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"racefuzzer/internal/event"
 	"racefuzzer/internal/lockset"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/rng"
 )
 
@@ -59,6 +61,11 @@ type Config struct {
 	MaxSteps int
 	// Name labels the execution in reports.
 	Name string
+	// Metrics, when non-nil, collects per-run telemetry: steps, context
+	// switches, events by kind (it joins the observer stream), the
+	// enabled-thread histogram and wall time. The resulting snapshot is
+	// surfaced as Result.Stats. Nil disables all recording at no cost.
+	Metrics *obs.RunMetrics
 }
 
 // Exception records a model-level exception that killed a thread (the
@@ -112,6 +119,9 @@ type Result struct {
 	Deadlock     *DeadlockInfo
 	Aborted      bool // hit MaxSteps (or external stop)
 	PolicyStalls int  // times the scheduler force-granted past an empty policy decision
+	// Stats carries the run's telemetry snapshot; nil unless Config.Metrics
+	// was attached.
+	Stats *obs.RunStats
 }
 
 // Scheduler drives one execution. Create with Run; a Scheduler is not
@@ -129,9 +139,12 @@ type Scheduler struct {
 	locks    []lockState
 	locNames []string
 
-	steps    int
-	inFlight int
-	aborted  atomic.Bool
+	steps       int
+	inFlight    int
+	aborted     atomic.Bool
+	metrics     *obs.RunMetrics
+	lastGranted event.ThreadID
+	switches    int
 
 	nextMsg    event.MsgID
 	exitMsg    map[event.ThreadID]event.MsgID
@@ -146,12 +159,14 @@ type Scheduler struct {
 // terminated (no leaks), including on deadlock and step-limit abort.
 func Run(main func(*Thread), cfg Config) *Result {
 	s := &Scheduler{
-		cfg:      cfg,
-		rng:      rng.New(cfg.Seed),
-		policy:   cfg.Policy,
-		maxSteps: cfg.MaxSteps,
-		parkCh:   make(chan *Thread),
-		exitMsg:  make(map[event.ThreadID]event.MsgID),
+		cfg:         cfg,
+		rng:         rng.New(cfg.Seed),
+		policy:      cfg.Policy,
+		maxSteps:    cfg.MaxSteps,
+		parkCh:      make(chan *Thread),
+		exitMsg:     make(map[event.ThreadID]event.MsgID),
+		metrics:     cfg.Metrics,
+		lastGranted: event.NoThread,
 	}
 	s.workRand = s.rng.Split()
 	if s.policy == nil {
@@ -161,8 +176,22 @@ func Run(main func(*Thread), cfg Config) *Result {
 		s.maxSteps = DefaultMaxSteps
 	}
 	s.observers = append(s.observers, cfg.Observers...)
+	if s.metrics != nil {
+		// Telemetry rides the observer stream for events-by-kind; the
+		// remaining probes are explicit calls on the controller path.
+		s.observers = append(s.observers, s.metrics)
+	}
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
 	s.startThread("main", main)
 	s.loop()
+	if s.metrics != nil {
+		s.metrics.SetWall(time.Since(start))
+		s.metrics.SetSteps(s.steps)
+		s.metrics.SetSwitches(s.switches)
+	}
 	return s.result()
 }
 
@@ -229,6 +258,9 @@ func (s *Scheduler) loop() {
 			s.shutdown()
 			return
 		}
+		if s.metrics != nil {
+			s.metrics.ObserveEnabled(len(enabled))
+		}
 		view := &View{sched: s, Step: s.steps, Enabled: enabled}
 		dec := s.policy.Step(view, s.rng)
 		if len(dec.Grants) == 0 {
@@ -259,6 +291,12 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 	t := s.threads[tid]
 	op := t.pending
 	s.steps++
+	if tid != s.lastGranted {
+		if s.lastGranted != event.NoThread {
+			s.switches++
+		}
+		s.lastGranted = tid
+	}
 	t.lastStmt = op.Stmt
 
 	switch op.Kind {
@@ -589,5 +627,6 @@ func (s *Scheduler) result() *Result {
 		Deadlock:     s.deadlock,
 		Aborted:      s.abortedRun,
 		PolicyStalls: s.stalls,
+		Stats:        s.metrics.Stats(),
 	}
 }
