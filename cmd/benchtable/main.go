@@ -29,6 +29,7 @@ func main() {
 		only   = flag.Bool("sweep-only", false, "run only the Figure-2 sweep")
 		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		verify = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
+		trDir  = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		}
 		rows := harness.RunTable1(list, harness.Options{
 			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timing,
+			TraceDir: *trDir,
 		})
 		if *csv {
 			fmt.Print(harness.CSVTable1(rows))

@@ -28,6 +28,7 @@ import (
 
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/core"
+	"racefuzzer/internal/flightrec"
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
 	"racefuzzer/internal/trace"
@@ -43,6 +44,9 @@ func main() {
 		pairIdx = flag.Int("pair", -1, "fuzz only the potential pair with this index")
 		replay  = flag.Int64("replay", 0, "replay one run of -pair with this exact seed")
 		dump    = flag.Bool("trace", false, "with -replay: dump the replayed event trace")
+		explain = flag.Bool("explain", false, "with -replay: render the race-explanation timeline of the replayed run")
+		explTr  = flag.String("explaintrace", "", "explain a saved flight recording (*.trace.jsonl) and exit")
+		trDir   = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
 		dlMode  = flag.Bool("deadlocks", false, "run the deadlock-directed pipeline instead of races")
 		atMode  = flag.Bool("atomicity", false, "run the atomicity-directed pipeline instead of races")
 
@@ -63,10 +67,31 @@ func main() {
 		}
 	})
 
+	// -trace and -explain describe a single replayed run; without -replay
+	// there is no such run, so reject the combination loudly instead of
+	// silently ignoring the flag.
+	if *dump && !replaySet {
+		fmt.Fprintln(os.Stderr, "racefuzzer: -trace requires -replay (e.g. -bench figure2 -pair 0 -replay 12345 -trace)")
+		os.Exit(2)
+	}
+	if *explain && !replaySet {
+		fmt.Fprintln(os.Stderr, "racefuzzer: -explain requires -replay (e.g. -bench figure2 -pair 0 -replay 12345 -explain), or use -explaintrace on a saved recording")
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, b := range bench.All() {
 			fmt.Printf("%-12s %s\n", b.Name, b.Description)
 		}
+		return
+	}
+	if *explTr != "" {
+		rec, err := flightrec.LoadFile(*explTr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -explaintrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rec.Explain())
 		return
 	}
 	if *name == "" {
@@ -84,6 +109,7 @@ func main() {
 		Phase2Trials: *trials,
 		MaxSteps:     b.MaxSteps,
 		Label:        b.Name,
+		TraceDir:     *trDir,
 	}
 	if opts.Phase1Trials == 0 {
 		opts.Phase1Trials = b.Phase1Trials
@@ -166,6 +192,7 @@ func main() {
 		fmt.Printf("deadlock pipeline: %d potential lock cycle(s)\n", len(reps))
 		for _, r := range reps {
 			fmt.Printf("  %v\n", r)
+			printWitness(r.TracePath, r.TraceErr)
 		}
 		finishObservers()
 		return
@@ -175,6 +202,7 @@ func main() {
 		fmt.Printf("atomicity pipeline: %d inferred block(s)\n", len(reps))
 		for _, r := range reps {
 			fmt.Printf("  %v\n", r)
+			printWitness(r.TracePath, r.TraceErr)
 		}
 		finishObservers()
 		return
@@ -204,9 +232,18 @@ func main() {
 			observers = append(observers, rec)
 		}
 		pol := core.NewRaceFuzzerPolicy(pair)
-		res := sched.Run(b.New(), sched.Config{
+		cfg := sched.Config{
 			Seed: *replay, Policy: pol, MaxSteps: b.MaxSteps, Observers: observers,
-		})
+		}
+		var flight *flightrec.Recorder
+		if *explain {
+			flight = flightrec.NewRecorder(flightrec.Header{
+				Label: b.Name, Policy: pol.Name(), Kind: "race",
+				Seed: *replay, Pair: pair.String(), MaxSteps: b.MaxSteps,
+			})
+			cfg.Flight = flight
+		}
+		res := sched.Run(b.New(), cfg)
 		for _, rr := range pol.Races() {
 			fmt.Printf("  %v\n", rr)
 		}
@@ -215,6 +252,11 @@ func main() {
 		}
 		if res.Deadlock != nil {
 			fmt.Printf("  %v\n", res.Deadlock)
+		}
+		if flight != nil {
+			flight.Finish(res)
+			fmt.Println()
+			fmt.Print(flight.Recording().Explain())
 		}
 		if rec != nil {
 			fmt.Println("\nevent trace (most recent 200):")
@@ -238,9 +280,22 @@ func main() {
 				excCount++
 				fmt.Printf("      replay an exception-throwing run with: -pair %d -replay %d\n", i, rep.FirstExceptionSeed)
 			}
+			printWitness(rep.TracePath, rep.TraceErr)
 		}
 	}
 	fmt.Printf("\nsummary: %d potential, %d real, %d with exceptions (paper row: %d potential, %d real)\n",
 		len(pairs), realCount, excCount, b.Paper.HybridRaces, b.Paper.RealRaces)
 	finishObservers()
+}
+
+// printWitness reports an auto-captured witness recording (or a failed
+// capture attempt) under a target's verdict line.
+func printWitness(path string, err error) {
+	if err != nil {
+		fmt.Printf("      witness capture failed: %v\n", err)
+		return
+	}
+	if path != "" {
+		fmt.Printf("      witness trace: %s (render with -explaintrace %s)\n", path, path)
+	}
 }

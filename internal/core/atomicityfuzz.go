@@ -69,6 +69,11 @@ type AtomicityReport struct {
 	FirstTrial int
 	// FirstSeed replays a violating run (meaningful when FirstTrial >= 0).
 	FirstSeed int64
+	// TracePath is the auto-captured witness recording of the first
+	// violating trial ("" unless Options.TraceDir was set and a violation
+	// occurred); TraceErr reports a failed capture attempt.
+	TracePath string
+	TraceErr  error
 }
 
 func (a AtomicityReport) String() string {
@@ -94,11 +99,17 @@ func ConfirmAtomicity(prog Program, target AtomicityTarget, targetIndex int, o O
 		}
 		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
 		violations := pol.Violations()
+		tracePath := ""
 		if len(violations) > 0 {
 			rep.ViolationRuns++
 			if rep.FirstTrial < 0 {
 				rep.FirstTrial = i
 				rep.FirstSeed = seed
+				if o.TraceDir != "" {
+					_, _, witness := RecordAtomicityRun(prog, target, seed, o)
+					tracePath, rep.TraceErr = capture(witness, o.witnessPath("atomicity", targetIndex, i))
+					rep.TracePath = tracePath
+				}
 			}
 			if len(res.Exceptions) > 0 {
 				rep.ExceptionRuns++
@@ -112,6 +123,7 @@ func ConfirmAtomicity(prog Program, target AtomicityTarget, targetIndex int, o O
 			if len(violations) > 0 {
 				rec.StepsToRace = violations[0].Step
 			}
+			rec.Trace = tracePath
 			o.emit(rec)
 		}
 	}

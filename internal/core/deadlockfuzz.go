@@ -83,6 +83,11 @@ type DeadlockReport struct {
 	FirstTrial int
 	// FirstSeed replays a deadlocking run (meaningful when FirstTrial >= 0).
 	FirstSeed int64
+	// TracePath is the auto-captured witness recording of the first
+	// deadlocking trial ("" unless Options.TraceDir was set and a deadlock
+	// occurred); TraceErr reports a failed capture attempt.
+	TracePath string
+	TraceErr  error
 }
 
 func (d DeadlockReport) String() string {
@@ -111,11 +116,17 @@ func ConfirmDeadlock(prog Program, cycle deadlock.Cycle, cycleIndex int, o Optio
 		}
 		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
 		hit := res.Deadlock != nil && deadlockInvolves(res.Deadlock, target)
+		tracePath := ""
 		if hit {
 			rep.DeadlockRuns++
 			if rep.FirstTrial < 0 {
 				rep.FirstTrial = i
 				rep.FirstSeed = seed
+				if o.TraceDir != "" {
+					_, witness := RecordDeadlockRun(prog, target, seed, o)
+					tracePath, rep.TraceErr = capture(witness, o.witnessPath("deadlock", cycleIndex, i))
+					rep.TracePath = tracePath
+				}
 			}
 		}
 		if o.observing() {
@@ -126,6 +137,7 @@ func ConfirmDeadlock(prog Program, cycle deadlock.Cycle, cycleIndex int, o Optio
 				rec.Races = 1
 				rec.StepsToRace = res.Deadlock.Step
 			}
+			rec.Trace = tracePath
 			o.emit(rec)
 		}
 	}

@@ -70,6 +70,8 @@ func (p *DeadlockDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision
 		// a forming cycle; leave them alone. Age out long-stuck enabled ones.
 		if v.Step-p.postponed[tid] > maxAge {
 			delete(p.postponed, tid)
+			v.Act(sched.ActionRecord{Kind: sched.ActLivelockBreak, Step: v.Step, Thread: tid,
+				Loc: event.NoLoc, Lock: event.NoLock})
 		}
 	}
 
@@ -90,7 +92,10 @@ func (p *DeadlockDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision
 		if len(keys) == 0 {
 			return sched.Decision{}
 		}
-		delete(p.postponed, keys[r.Intn(len(keys))])
+		evicted := keys[r.Intn(len(keys))]
+		delete(p.postponed, evicted)
+		v.Act(sched.ActionRecord{Kind: sched.ActResume, Step: v.Step, Thread: evicted,
+			Loc: event.NoLoc, Lock: event.NoLock})
 		return sched.Decision{}
 	}
 	t := cand[r.Intn(len(cand))]
@@ -98,6 +103,8 @@ func (p *DeadlockDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision
 	if op.Kind == sched.OpLock && p.isTargetLock(op.Lock) && len(v.HeldLocks(t)) > 0 {
 		// Nested acquisition: hold it back so a partner can form the cycle.
 		p.postponed[t] = v.Step
+		v.Act(sched.ActionRecord{Kind: sched.ActPostpone, Step: v.Step, Thread: t,
+			Loc: event.NoLoc, Lock: op.Lock})
 		return sched.Decision{}
 	}
 	return sched.Grant(t)
@@ -186,6 +193,8 @@ func (p *AtomicityDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decisio
 	for _, tid := range keys {
 		if v.Step-p.postponed[tid] > maxAge {
 			delete(p.postponed, tid)
+			v.Act(sched.ActionRecord{Kind: sched.ActLivelockBreak, Step: v.Step, Thread: tid,
+				Loc: event.NoLoc, Lock: event.NoLock})
 		}
 	}
 
@@ -199,7 +208,10 @@ func (p *AtomicityDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decisio
 		if len(keys) == 0 {
 			return sched.Decision{}
 		}
-		delete(p.postponed, keys[r.Intn(len(keys))])
+		evicted := keys[r.Intn(len(keys))]
+		delete(p.postponed, evicted)
+		v.Act(sched.ActionRecord{Kind: sched.ActResume, Step: v.Step, Thread: evicted,
+			Loc: event.NoLoc, Lock: event.NoLock})
 		return sched.Decision{}
 	}
 	t := cand[r.Intn(len(cand))]
@@ -226,11 +238,16 @@ func (p *AtomicityDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decisio
 				Target: p.Target, Victim: t, Interferer: hit, Loc: op.Loc, Step: v.Step,
 			})
 			delete(p.postponed, t)
+			v.Act(sched.ActionRecord{Kind: sched.ActViolation, Step: v.Step, Thread: t,
+				Others: []event.ThreadID{hit}, Stmt: p.Target.Second, OtherStmt: v.Op(hit).Stmt,
+				Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock})
 			// Deliberately schedule the interferer inside the block, then
 			// let the victim observe the damage.
 			return sched.Decision{Grants: []event.ThreadID{hit, t}}
 		}
 		p.postponed[t] = v.Step
+		v.Act(sched.ActionRecord{Kind: sched.ActPostpone, Step: v.Step, Thread: t,
+			Stmt: op.Stmt, Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock})
 		return sched.Decision{}
 	}
 
@@ -247,6 +264,9 @@ func (p *AtomicityDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decisio
 					Target: p.Target, Victim: tid, Interferer: t, Loc: op.Loc, Step: v.Step,
 				})
 				delete(p.postponed, tid)
+				v.Act(sched.ActionRecord{Kind: sched.ActViolation, Step: v.Step, Thread: tid,
+					Others: []event.ThreadID{t}, Stmt: p.Target.Second, OtherStmt: op.Stmt,
+					Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock})
 				return sched.Decision{Grants: []event.ThreadID{t, tid}}
 			}
 		}
@@ -254,6 +274,8 @@ func (p *AtomicityDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decisio
 		// Algorithm 1 postpones both sides of the racing pair, so it is
 		// still pending when a victim reaches Second.
 		p.postponed[t] = v.Step
+		v.Act(sched.ActionRecord{Kind: sched.ActPostpone, Step: v.Step, Thread: t,
+			Stmt: op.Stmt, Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock})
 		return sched.Decision{}
 	}
 	return sched.Grant(t)

@@ -34,6 +34,13 @@ type Options struct {
 	// Label annotates telemetry records with the campaign's name (usually
 	// the benchmark under test).
 	Label string
+	// TraceDir, when non-empty, enables witness auto-capture: the first
+	// trial of each target that confirms its goal (real race, real deadlock,
+	// real violation) is re-run with a flight recorder — determinism makes
+	// the re-run the same execution — and archived there as a replayable
+	// *.trace.jsonl recording. The path is surfaced on the run's record
+	// (RunRecord.Trace) and the target's report.
+	TraceDir string
 	// Metrics, when non-nil, aggregates per-run telemetry across the whole
 	// campaign (phase 1 and phase 2).
 	Metrics *obs.CampaignMetrics
@@ -218,6 +225,11 @@ type PairReport struct {
 	// StepsToRace is the distribution of the scheduler step at which the
 	// race was created, over race-creating trials (empty unless observing).
 	StepsToRace obs.HistogramSnapshot
+	// TracePath is the auto-captured witness recording of the first
+	// race-creating trial ("" unless Options.TraceDir was set and a race was
+	// created); TraceErr reports a failed capture attempt.
+	TracePath string
+	TraceErr  error
 }
 
 func (p PairReport) String() string {
@@ -251,6 +263,7 @@ func FuzzPair(prog Program, pair event.StmtPair, pairIndex int, o Options) PairR
 		run := FuzzRun(prog, pair, seed, o)
 		rep.TotalSteps += int64(run.Result.Steps)
 		firstRaceStep := -1
+		tracePath := ""
 		if run.RaceCreated {
 			firstRaceStep = run.Races[0].Step
 			stepsToRace.Observe(float64(firstRaceStep))
@@ -258,6 +271,11 @@ func FuzzPair(prog Program, pair event.StmtPair, pairIndex int, o Options) PairR
 			if rep.FirstRaceTrial < 0 {
 				rep.FirstRaceTrial = i
 				rep.FirstRaceSeed = seed
+				if o.TraceDir != "" {
+					_, witness := RecordRace(prog, pair, seed, o)
+					tracePath, rep.TraceErr = capture(witness, o.witnessPath("race", pairIndex, i))
+					rep.TracePath = tracePath
+				}
 			}
 			if len(run.Result.Exceptions) > 0 {
 				rep.ExceptionRuns++
@@ -284,6 +302,7 @@ func FuzzPair(prog Program, pair event.StmtPair, pairIndex int, o Options) PairR
 			rec.RaceCreated = run.RaceCreated
 			rec.Races = len(run.Races)
 			rec.StepsToRace = firstRaceStep
+			rec.Trace = tracePath
 			o.emit(rec)
 		}
 	}

@@ -200,6 +200,8 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 				p.justReleased[tid] = true
 				p.aged++
 				p.Metrics.LivelockBreak()
+				v.Act(sched.ActionRecord{Kind: sched.ActLivelockBreak, Step: v.Step, Thread: tid,
+					Loc: event.NoLoc, Lock: event.NoLock})
 			}
 		}
 	}
@@ -222,6 +224,8 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 		p.justReleased[evicted] = true
 		p.released++
 		p.Metrics.Resume()
+		v.Act(sched.ActionRecord{Kind: sched.ActResume, Step: v.Step, Thread: evicted,
+			Loc: event.NoLoc, Lock: event.NoLock})
 		return sched.Decision{}
 	}
 	t := cand[r.Intn(len(cand))]
@@ -266,6 +270,13 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 			case ResolvePostponedFirst:
 				candidateFirst = false
 			}
+			v.Act(sched.ActionRecord{
+				Kind: sched.ActRace, Step: v.Step, Thread: t,
+				Others: append([]event.ThreadID(nil), races...),
+				Stmt:   op.Stmt, OtherStmt: v.Op(races[0]).Stmt,
+				Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock,
+				CandidateFirst: candidateFirst,
+			})
 			if candidateFirst {
 				rec.CandidateFirst = true
 				p.races = append(p.races, rec)
@@ -275,6 +286,8 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 			p.races = append(p.races, rec)
 			p.postponed[t] = v.Step // line 14
 			p.Metrics.Postpone()
+			v.Act(sched.ActionRecord{Kind: sched.ActPostpone, Step: v.Step, Thread: t,
+				Stmt: op.Stmt, Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock})
 			for _, tid := range races {
 				delete(p.postponed, tid) // line 17
 			}
@@ -284,6 +297,8 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 		// Wait for a race to happen (line 21).
 		p.postponed[t] = v.Step
 		p.Metrics.Postpone()
+		v.Act(sched.ActionRecord{Kind: sched.ActPostpone, Step: v.Step, Thread: t,
+			Stmt: op.Stmt, Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock})
 		return sched.Decision{}
 	}
 	// Trivial case: execute the next statement (line 24).

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/flightrec"
+	"racefuzzer/internal/sched"
+)
+
+// Flight-recorded variants of the phase-2 runs. Each Record* function runs
+// the exact execution its plain counterpart (FuzzRun, ConfirmDeadlock's
+// trial, ConfirmAtomicity's trial) would run for the same seed — same
+// policy, same configuration — with a flight recorder attached. Because a
+// run is a pure function of (program, policy, seed) and recording is
+// passive, the recorded execution IS the original execution; that identity
+// is what makes campaign auto-capture (Options.TraceDir) sound and what the
+// Verify* helpers check.
+
+// RecordRace is FuzzRun with a flight recorder attached: it returns the run
+// report plus the complete causal recording.
+func RecordRace(prog Program, pair event.StmtPair, seed int64, o Options) (*RunReport, *flightrec.Recording) {
+	pol := &RaceFuzzerPolicy{Target: pair, MaxPostponeAge: o.MaxPostponeAge}
+	rec := flightrec.NewRecorder(flightrec.Header{
+		Label: o.Label, Policy: pol.Name(), Kind: "race",
+		Seed: seed, Pair: pair.String(), MaxSteps: o.MaxSteps,
+	})
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+		Name:   fmt.Sprintf("racefuzzer%v", pair),
+		Flight: rec,
+	})
+	rec.Finish(res)
+	return &RunReport{Seed: seed, Result: res, Races: pol.Races(), RaceCreated: pol.RaceCreated()}, rec.Recording()
+}
+
+// RecordDeadlockRun is one ConfirmDeadlock trial with a flight recorder:
+// a deadlock-directed run focused on the target lock pair.
+func RecordDeadlockRun(prog Program, target [2]event.LockID, seed int64, o Options) (*sched.Result, *flightrec.Recording) {
+	pol := NewDeadlockDirectedPolicy()
+	pol.TargetLocks = &target
+	pol.MaxPostponeAge = o.MaxPostponeAge
+	rec := flightrec.NewRecorder(flightrec.Header{
+		Label: o.Label, Policy: pol.Name(), Kind: "deadlock",
+		Seed: seed, Pair: fmt.Sprintf("(%s, %s)", target[0], target[1]), MaxSteps: o.MaxSteps,
+	})
+	res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Flight: rec})
+	rec.Finish(res)
+	return res, rec.Recording()
+}
+
+// RecordAtomicityRun is one ConfirmAtomicity trial with a flight recorder:
+// an atomicity-directed run against the target block.
+func RecordAtomicityRun(prog Program, target AtomicityTarget, seed int64, o Options) (*sched.Result, []AtomicityViolation, *flightrec.Recording) {
+	pol := NewAtomicityDirectedPolicy(target)
+	pol.MaxPostponeAge = o.MaxPostponeAge
+	rec := flightrec.NewRecorder(flightrec.Header{
+		Label: o.Label, Policy: pol.Name(), Kind: "atomicity",
+		Seed: seed, Pair: fmt.Sprintf("(%s, %s)", target.First, target.Second), MaxSteps: o.MaxSteps,
+	})
+	res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Flight: rec})
+	rec.Finish(res)
+	return res, pol.Violations(), rec.Recording()
+}
+
+// VerifyRaceReplay records the same race-directed (pair, seed) twice and
+// returns the first divergence between the two recordings, or nil when the
+// replay is exact — the paper's §2.2 determinism claim as a checkable
+// invariant.
+func VerifyRaceReplay(prog Program, pair event.StmtPair, seed int64, o Options) *flightrec.Divergence {
+	_, a := RecordRace(prog, pair, seed, o)
+	_, b := RecordRace(prog, pair, seed, o)
+	return flightrec.Diverge(b, a)
+}
+
+// VerifyDeadlockReplay is VerifyRaceReplay for the deadlock pipeline.
+func VerifyDeadlockReplay(prog Program, target [2]event.LockID, seed int64, o Options) *flightrec.Divergence {
+	_, a := RecordDeadlockRun(prog, target, seed, o)
+	_, b := RecordDeadlockRun(prog, target, seed, o)
+	return flightrec.Diverge(b, a)
+}
+
+// VerifyAtomicityReplay is VerifyRaceReplay for the atomicity pipeline.
+func VerifyAtomicityReplay(prog Program, target AtomicityTarget, seed int64, o Options) *flightrec.Divergence {
+	_, _, a := RecordAtomicityRun(prog, target, seed, o)
+	_, _, b := RecordAtomicityRun(prog, target, seed, o)
+	return flightrec.Diverge(b, a)
+}
+
+// witnessPath names an auto-captured trace inside o.TraceDir:
+// <label>-<kind>-p<target>-t<trial>.trace.jsonl.
+func (o Options) witnessPath(kind string, targetIndex, trial int) string {
+	label := sanitizeLabel(o.Label)
+	return filepath.Join(o.TraceDir,
+		fmt.Sprintf("%s-%s-p%d-t%d.trace.jsonl", label, kind, targetIndex, trial))
+}
+
+// sanitizeLabel makes a campaign label safe as a file-name component.
+func sanitizeLabel(label string) string {
+	if label == "" {
+		return "run"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-' || r == '_' || r == '.':
+			return r
+		}
+		return '-'
+	}, label)
+}
+
+// capture saves a witness recording and reports the path ("" plus the error
+// when saving failed; capture failures never fail the campaign).
+func capture(rec *flightrec.Recording, path string) (string, error) {
+	if err := rec.SaveFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

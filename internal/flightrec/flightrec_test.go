@@ -1,0 +1,153 @@
+package flightrec
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/sched"
+	"racefuzzer/internal/trace"
+)
+
+// record runs a benchmark program under the random policy with a Recorder
+// attached and returns the finished recording.
+func record(t *testing.T, seed int64) *Recording {
+	t.Helper()
+	r := NewRecorder(Header{Label: "figure1", Policy: "random", Seed: seed})
+	res := sched.Run(bench.Figure1(), sched.Config{
+		Seed: seed, Policy: sched.NewRandomPolicy(), Flight: r,
+	})
+	r.Finish(res)
+	return r.Recording()
+}
+
+func TestRecorderCapturesDecisionsAndEvents(t *testing.T) {
+	rec := record(t, 3)
+	decs := rec.Decisions()
+	evs := rec.Events()
+	if len(decs) == 0 || len(evs) == 0 {
+		t.Fatalf("decisions=%d events=%d", len(decs), len(evs))
+	}
+	// Decision rounds count up from 0; RNG draw counts never decrease.
+	var draws uint64
+	for i, d := range decs {
+		if d.Round != i {
+			t.Fatalf("decision %d has round %d", i, d.Round)
+		}
+		if d.Draws < draws {
+			t.Fatalf("decision %d: draw count went backwards (%d -> %d)", i, draws, d.Draws)
+		}
+		draws = d.Draws
+		if len(d.Enabled) == 0 {
+			t.Fatalf("decision %d has empty enabled set", i)
+		}
+	}
+	end := rec.Summary()
+	if end.Steps == 0 || end.Steps != evs[len(evs)-1].Step {
+		t.Fatalf("summary steps %d, last event step %d", end.Steps, evs[len(evs)-1].Step)
+	}
+}
+
+func TestSaveLoadRoundTripIsExact(t *testing.T) {
+	rec := record(t, 9)
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+	if !strings.HasPrefix(saved, `{"v":1`) {
+		t.Fatalf("recording does not start with a version header: %q", saved[:40])
+	}
+	loaded, err := Load(strings.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diverge(loaded, rec); d != nil {
+		t.Fatalf("round trip diverged: %v", d)
+	}
+	// Saving the loaded recording reproduces the bytes exactly.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != saved {
+		t.Fatal("save/load/save is not byte-identical")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	rec := record(t, 4)
+	path := filepath.Join(t.TempDir(), "nested", "dir", "run.trace.jsonl")
+	if err := rec.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diverge(loaded, rec); d != nil {
+		t.Fatalf("file round trip diverged: %v", d)
+	}
+}
+
+func TestLoadRejectsUnsupportedVersion(t *testing.T) {
+	in := `{"v":99,"seed":1}` + "\n"
+	if _, err := Load(strings.NewReader(in)); err == nil ||
+		!strings.Contains(err.Error(), "unsupported trace version 99") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadRejectsUnknownRecordKind(t *testing.T) {
+	in := `{"v":1,"seed":1}` + "\n" + `{"rec":"mystery"}` + "\n"
+	if _, err := Load(strings.NewReader(in)); err == nil ||
+		!strings.Contains(err.Error(), `unknown record kind "mystery"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadRejectsEmptyInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestExplainWithoutHitSaysSo(t *testing.T) {
+	rec := record(t, 3) // random policy: no directed actions recorded
+	out := rec.Explain()
+	if !strings.Contains(out, "no race, violation or deadlock") {
+		t.Fatalf("explanation:\n%s", out)
+	}
+	if !strings.Contains(out, "figure1") || !strings.Contains(out, "policy=random") {
+		t.Fatalf("header not rendered:\n%s", out)
+	}
+}
+
+func TestActionKindStringsAreStable(t *testing.T) {
+	// The wire format persists these strings; renaming one silently breaks
+	// old recordings, so pin them.
+	want := map[sched.ActionKind]string{
+		sched.ActPostpone:      "postpone",
+		sched.ActResume:        "resume",
+		sched.ActLivelockBreak: "livelock-break",
+		sched.ActRace:          "race",
+		sched.ActViolation:     "violation",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%v renders %q, want %q", int(k), k.String(), s)
+		}
+		if got, ok := sched.ActionKindFor(s); !ok || got != k {
+			t.Fatalf("ActionKindFor(%q) = %v, %v", s, got, ok)
+		}
+	}
+}
+
+func TestFlightRecordingSharesTraceVersion(t *testing.T) {
+	rec := record(t, 1)
+	if rec.Header.V != trace.FormatVersion {
+		t.Fatalf("recording version %d, trace version %d", rec.Header.V, trace.FormatVersion)
+	}
+}

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
 	"racefuzzer/internal/bench"
@@ -29,6 +30,9 @@ type Options struct {
 	BaselineTrials int
 	// TimingRuns is the number of runs averaged per runtime column. Default 5.
 	TimingRuns int
+	// TraceDir, when non-empty, auto-captures a flight recording of each
+	// target's first confirming run there (core.Options.TraceDir).
+	TraceDir string
 	// Metrics, when non-nil, aggregates pipeline telemetry across every
 	// benchmark measured by this harness invocation.
 	Metrics *obs.CampaignMetrics
@@ -75,6 +79,14 @@ type Row struct {
 	HybridTracked int // MEM events processed by the hybrid detector
 	RFTracked     int // target-statement encounters in one RaceFuzzer run
 
+	// FirstRaceRun is the index, within this benchmark's pipeline campaign,
+	// of the first run that confirmed a race (-1 when none did) — the "how
+	// many runs did confirmation cost" column.
+	FirstRaceRun int64
+	// TraceCaptures counts witness recordings archived for this benchmark
+	// (0 unless Options.TraceDir is set).
+	TraceCaptures int64
+
 	// Details for per-pair inspection.
 	Pairs []core.PairReport
 }
@@ -114,15 +126,29 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 		}
 	})
 
-	// Phase 1 + phase 2.
+	// Phase 1 + phase 2. A per-benchmark aggregator always rides along so the
+	// row can report campaign-level counters (first confirming run, archived
+	// traces); the caller's cross-benchmark metrics and sink are fanned in
+	// behind it.
+	perBench := obs.NewCampaignMetrics()
 	opts := core.Options{
 		Seed:         o.Seed,
 		Phase1Trials: b.Phase1Trials,
 		Phase2Trials: o.Phase2Trials,
 		MaxSteps:     b.MaxSteps,
 		Label:        b.Name,
-		Metrics:      o.Metrics,
-		Sink:         o.Sink,
+		TraceDir:     o.TraceDir,
+		Metrics:      perBench,
+	}
+	var sinks obs.MultiSink
+	if o.Metrics != nil {
+		sinks = append(sinks, o.Metrics)
+	}
+	if o.Sink != nil {
+		sinks = append(sinks, o.Sink)
+	}
+	if len(sinks) > 0 {
+		opts.Sink = sinks
 	}
 	rep := core.Analyze(b.New(), opts)
 	row.Potential = len(rep.Potential)
@@ -130,6 +156,8 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 	row.ExceptionPairs = rep.ExceptionPairCount()
 	row.Probability = rep.MeanProbability()
 	row.Pairs = rep.Pairs
+	row.FirstRaceRun = perBench.FirstRaceRun()
+	row.TraceCaptures = perBench.TraceCaptures()
 
 	// Column 5: RaceFuzzer runtime, averaged over runs targeting the first
 	// pair (matching the paper: RaceFuzzer instruments only the racing pair
@@ -176,17 +204,22 @@ func RenderTable1(rows []Row) string {
 	t := report.NewTable(
 		"Table 1 (reproduced): measured on this machine's models",
 		"Program", "Normal(s)", "Hybrid(s)", "RF(s)", "Tracked(H)", "Tracked(RF)",
-		"Hybrid#", "RF(real)", "Exceptions", "Simple", "Prob",
+		"Hybrid#", "RF(real)", "Exceptions", "Simple", "Prob", "FirstRace", "Traces",
 	)
 	for _, r := range rows {
 		prob := report.Num(r.Probability)
 		if r.Real == 0 {
 			prob = "-"
 		}
+		first := "-"
+		if r.FirstRaceRun >= 0 {
+			first = fmt.Sprintf("%d", r.FirstRaceRun)
+		}
 		t.AddRow(r.Name,
 			report.Secs(r.NormalSec), report.Secs(r.HybridSec), report.Secs(r.RFSec),
 			r.HybridTracked, r.RFTracked,
-			r.Potential, r.Real, r.ExceptionPairs, r.SimpleExceptions, prob)
+			r.Potential, r.Real, r.ExceptionPairs, r.SimpleExceptions, prob,
+			first, r.TraceCaptures)
 	}
 	return t.Render()
 }

@@ -33,6 +33,8 @@ type CampaignMetrics struct {
 	// firstRaceRun is the campaign-wide run index of the first race-creating
 	// run (-1 until one happens): "how many runs did confirmation cost".
 	firstRaceRun int64
+	// traceCaptures counts runs for which a flight recording was archived.
+	traceCaptures int64
 
 	stepsToRace *Histogram
 	enabled     *Histogram
@@ -83,6 +85,9 @@ func (c *CampaignMetrics) Emit(rec RunRecord) {
 	if rec.Aborted {
 		c.abortedRuns++
 	}
+	if rec.Trace != "" {
+		c.traceCaptures++
+	}
 	if rs := rec.Stats; rs != nil {
 		c.switches += int64(rs.Switches)
 		c.decisions += int64(rs.Decisions)
@@ -116,6 +121,27 @@ func (c *CampaignMetrics) Runs() int64 {
 	return c.runs
 }
 
+// FirstRaceRun returns the campaign-wide index of the first confirming run
+// (-1 when no run confirmed its target).
+func (c *CampaignMetrics) FirstRaceRun() int64 {
+	if c == nil {
+		return -1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.firstRaceRun
+}
+
+// TraceCaptures returns the number of archived flight recordings.
+func (c *CampaignMetrics) TraceCaptures() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traceCaptures
+}
+
 // Snapshot captures the campaign's metrics under stable names.
 func (c *CampaignMetrics) Snapshot() Snapshot {
 	var s Snapshot
@@ -137,6 +163,7 @@ func (c *CampaignMetrics) Snapshot() Snapshot {
 		{Name: "policy.postpones", Value: c.postpones},
 		{Name: "policy.resumes", Value: c.resumes},
 		{Name: "policy.livelock_breaks", Value: c.livelockBreaks},
+		{Name: "traces.captured", Value: c.traceCaptures},
 	}
 	for k := event.Kind(0); k < event.KindCount; k++ {
 		s.Counters = append(s.Counters, NamedCounter{Name: "events." + k.String(), Value: c.events[k]})

@@ -45,6 +45,9 @@ type RunRecord struct {
 	// DurationSec is the run's wall-clock duration in seconds (0 when the
 	// run was not timed).
 	DurationSec float64 `json:"durationSec"`
+	// Trace is the path of the flight recording auto-captured for this run
+	// (set on the first confirming run of a target when capture is enabled).
+	Trace string `json:"trace,omitempty"`
 
 	// Stats carries the full scheduler telemetry when metrics were attached.
 	// It rides along for in-process consumers (CampaignMetrics, Progress)

@@ -15,6 +15,7 @@ import "math/bits"
 // with New.
 type Rand struct {
 	state uint64
+	draws uint64
 }
 
 // New returns a generator seeded with seed. Distinct seeds give independent-
@@ -28,6 +29,7 @@ func New(seed int64) *Rand {
 
 // Uint64 returns the next 64 uniformly distributed bits (SplitMix64).
 func (r *Rand) Uint64() uint64 {
+	r.draws++
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -96,3 +98,9 @@ func Shuffle[T any](r *Rand, xs []T) {
 func (r *Rand) Split() *Rand {
 	return &Rand{state: r.Uint64() ^ 0xa5a5a5a5deadbeef}
 }
+
+// Draws returns the number of raw 64-bit draws consumed so far (including
+// draws spent on rejection sampling inside Intn and on Split). Equal seeds
+// driven through equal decision sequences show equal draw counts, which is
+// what the flight recorder records to pinpoint replay divergence.
+func (r *Rand) Draws() uint64 { return r.draws }

@@ -43,6 +43,17 @@ func (v *View) HeldLocks(t event.ThreadID) []event.LockID { return v.sched.threa
 // LocName returns the debug name of a memory location (for findings).
 func (v *View) LocName(loc event.MemLoc) string { return v.sched.LocName(loc) }
 
+// Act reports one policy action (postpone/resume/livelock-break, race or
+// violation hit) to the execution's flight recorder, if one is attached.
+// Policies call it unconditionally alongside their Metrics probes; without a
+// recorder it is a nil check. Actions must be emitted at deterministic
+// points only — they become part of the replay-compared record.
+func (v *View) Act(a ActionRecord) {
+	if v.sched.flight != nil {
+		v.sched.flight.OnAction(a)
+	}
+}
+
 // Decision is a policy's answer for one round: the threads to grant, in
 // order. An empty decision is allowed (the policy only adjusted internal
 // state, e.g. postponed a thread) but the scheduler force-grants after a

@@ -66,6 +66,13 @@ type Config struct {
 	// enabled-thread histogram and wall time. The resulting snapshot is
 	// surfaced as Result.Stats. Nil disables all recording at no cost.
 	Metrics *obs.RunMetrics
+	// Flight, when non-nil, receives every scheduling decision and policy
+	// action — the flight-recorder hook (internal/flightrec). If it also
+	// implements Observer it is subscribed to the event stream automatically,
+	// so the recording interleaves decisions, actions and events in causal
+	// order. Nil disables decision recording at the cost of one nil check
+	// per round.
+	Flight FlightObserver
 }
 
 // Exception records a model-level exception that killed a thread (the
@@ -139,6 +146,9 @@ type Scheduler struct {
 	locks    []lockState
 	locNames []string
 
+	flight FlightObserver
+	rounds int
+
 	steps       int
 	inFlight    int
 	aborted     atomic.Bool
@@ -176,6 +186,10 @@ func Run(main func(*Thread), cfg Config) *Result {
 		s.maxSteps = DefaultMaxSteps
 	}
 	s.observers = append(s.observers, cfg.Observers...)
+	s.flight = cfg.Flight
+	if o, ok := cfg.Flight.(Observer); ok {
+		s.observers = append(s.observers, o)
+	}
 	if s.metrics != nil {
 		// Telemetry rides the observer stream for events-by-kind; the
 		// remaining probes are explicit calls on the controller path.
@@ -263,6 +277,7 @@ func (s *Scheduler) loop() {
 		}
 		view := &View{sched: s, Step: s.steps, Enabled: enabled}
 		dec := s.policy.Step(view, s.rng)
+		s.recordDecision(enabled, dec.Grants, false)
 		if len(dec.Grants) == 0 {
 			emptyRounds++
 			// A policy may legitimately return no grants for a round while it
@@ -270,7 +285,9 @@ func (s *Scheduler) loop() {
 			// but never indefinitely: force progress after a grace period.
 			if emptyRounds > 2*len(s.threads)+16 {
 				s.stalls++
-				s.grant(enabled[s.rng.Intn(len(enabled))])
+				forced := enabled[s.rng.Intn(len(enabled))]
+				s.recordDecision(enabled, []event.ThreadID{forced}, true)
+				s.grant(forced)
 				emptyRounds = 0
 			}
 			continue
@@ -282,6 +299,24 @@ func (s *Scheduler) loop() {
 			}
 		}
 	}
+}
+
+// recordDecision delivers one round's DecisionRecord to the flight observer.
+// The enabled set is copied: the caller's slice is rebuilt each round, but a
+// recorder keeps records beyond the round.
+func (s *Scheduler) recordDecision(enabled, grants []event.ThreadID, forced bool) {
+	if s.flight == nil {
+		return
+	}
+	s.flight.OnDecision(DecisionRecord{
+		Round:   s.rounds,
+		Step:    s.steps,
+		Enabled: append([]event.ThreadID(nil), enabled...),
+		Grants:  append([]event.ThreadID(nil), grants...),
+		Draws:   s.rng.Draws(),
+		Forced:  forced,
+	})
+	s.rounds++
 }
 
 // grant lets thread tid perform its pending op: apply the op's effect on the

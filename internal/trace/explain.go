@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/report"
+)
+
+// Explanation rendering: a replayed race is far easier to understand as a
+// per-thread timeline — each thread a column, time flowing downward, with
+// the scheduler's causal annotations (postpone points, the race check)
+// interleaved — than as a flat event dump. This file renders the timeline
+// for a raw event stream; internal/flightrec layers the policy's decision
+// and action records on top of it.
+
+// Mark is an annotation pinned into a timeline: scheduler-side context (a
+// postpone decision, a race confirmation) that is not itself an event.
+// Marks at step N render after the events of step N and before those of
+// N+1; Thread selects the column (NoThread renders across the row).
+type Mark struct {
+	Step   int
+	Thread event.ThreadID
+	Text   string
+}
+
+// EventCell renders one event compactly for a timeline cell:
+// "write m3 @file.go:12 {L0 L1}". Lock/unlock and message events render
+// their operands; the step is carried by the row, not the cell.
+func EventCell(e event.Event) string {
+	switch e.Kind {
+	case event.KindMem:
+		held := "{}"
+		if len(e.Locks) > 0 {
+			parts := make([]string, len(e.Locks))
+			for i, l := range e.Locks {
+				parts[i] = l.String()
+			}
+			held = "{" + strings.Join(parts, " ") + "}"
+		}
+		access := "read"
+		if e.Access == event.Write {
+			access = "write"
+		}
+		return fmt.Sprintf("%s %s @%s %s", access, e.Loc, e.Stmt, held)
+	case event.KindLock:
+		return fmt.Sprintf("lock %s @%s", e.Lock, e.Stmt)
+	case event.KindUnlock:
+		return fmt.Sprintf("unlock %s @%s", e.Lock, e.Stmt)
+	case event.KindSnd:
+		return fmt.Sprintf("snd g%d", int(e.Msg))
+	case event.KindRcv:
+		return fmt.Sprintf("rcv g%d", int(e.Msg))
+	}
+	return e.String()
+}
+
+// Explain renders a per-thread ASCII timeline of the events with steps in
+// [lo, hi], one column per thread, annotated with marks. Threads are the
+// union of those appearing in the window's events and marks, so postponed
+// threads (which execute nothing while parked) still get their column.
+func Explain(events []event.Event, lo, hi int, marks []Mark) string {
+	maxT := event.NoThread
+	var window []event.Event
+	for _, e := range events {
+		if e.Step < lo || e.Step > hi {
+			continue
+		}
+		window = append(window, e)
+		if e.Thread > maxT {
+			maxT = e.Thread
+		}
+	}
+	for _, m := range marks {
+		if m.Thread > maxT {
+			maxT = m.Thread
+		}
+	}
+	if maxT == event.NoThread {
+		return "(no events in window)\n"
+	}
+	headers := []string{"step"}
+	for t := event.ThreadID(0); t <= maxT; t++ {
+		headers = append(headers, t.String())
+	}
+	tbl := report.NewTable(fmt.Sprintf("timeline (steps %d..%d, one column per thread)", lo, hi), headers...)
+
+	addMark := func(m Mark) {
+		row := make([]any, 1+int(maxT)+1)
+		for i := range row {
+			row[i] = ""
+		}
+		row[0] = fmt.Sprintf("%d*", m.Step)
+		col := 1 // NoThread: annotate in the first thread column, prefixed
+		text := m.Text
+		if m.Thread != event.NoThread {
+			col = 1 + int(m.Thread)
+		}
+		row[col] = text
+		tbl.AddRow(row...)
+	}
+
+	mi := 0
+	for mi < len(marks) && marks[mi].Step < lo {
+		mi++
+	}
+	for _, e := range window {
+		for mi < len(marks) && marks[mi].Step < e.Step {
+			addMark(marks[mi])
+			mi++
+		}
+		row := make([]any, 1+int(maxT)+1)
+		for i := range row {
+			row[i] = ""
+		}
+		row[0] = fmt.Sprintf("%d", e.Step)
+		row[1+int(e.Thread)] = EventCell(e)
+		tbl.AddRow(row...)
+	}
+	for mi < len(marks) && marks[mi].Step <= hi {
+		addMark(marks[mi])
+		mi++
+	}
+	return tbl.Render()
+}

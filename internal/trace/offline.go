@@ -15,9 +15,21 @@ import (
 // detectors are pure functions of the event stream, offline results are
 // bit-identical to online ones (tested in offline_test.go).
 
-// jsonEvent is the serialized form of one event. Statement labels are
+// FormatVersion is the current trace serialization version. Save stamps it
+// in a {"v":1} header line; Load rejects traces written by a newer format
+// with an "unsupported trace version" error instead of misparsing them.
+// internal/flightrec extends this wire format (same event encoding, extra
+// record kinds) and shares the version.
+const FormatVersion = 1
+
+// Header is the first line of a serialized trace.
+type Header struct {
+	V int `json:"v"`
+}
+
+// WireEvent is the serialized form of one event. Statement labels are
 // serialized by name so a recording is valid across processes.
-type jsonEvent struct {
+type WireEvent struct {
 	Kind   int            `json:"k"`
 	Thread int            `json:"t"`
 	Stmt   string         `json:"s,omitempty"`
@@ -29,47 +41,78 @@ type jsonEvent struct {
 	Step   int            `json:"n"`
 }
 
-func toJSON(e event.Event) jsonEvent {
-	return jsonEvent{
+// ToWire converts an event to its serialized form.
+func ToWire(e event.Event) WireEvent {
+	return WireEvent{
 		Kind: int(e.Kind), Thread: int(e.Thread), Stmt: e.Stmt.Name(),
 		Loc: int(e.Loc), Access: int(e.Access), Lock: int(e.Lock),
 		Msg: int(e.Msg), Locks: e.Locks, Step: e.Step,
 	}
 }
 
-func fromJSON(j jsonEvent) event.Event {
+// FromWire converts a serialized event back, re-interning its statement
+// label in this process.
+func FromWire(w WireEvent) event.Event {
 	return event.Event{
-		Kind: event.Kind(j.Kind), Thread: event.ThreadID(j.Thread),
-		Stmt: event.StmtFor(j.Stmt), Loc: event.MemLoc(j.Loc),
-		Access: event.AccessKind(j.Access), Lock: event.LockID(j.Lock),
-		Msg: event.MsgID(j.Msg), Locks: j.Locks, Step: j.Step,
+		Kind: event.Kind(w.Kind), Thread: event.ThreadID(w.Thread),
+		Stmt: event.StmtFor(w.Stmt), Loc: event.MemLoc(w.Loc),
+		Access: event.AccessKind(w.Access), Lock: event.LockID(w.Lock),
+		Msg: event.MsgID(w.Msg), Locks: w.Locks, Step: w.Step,
 	}
 }
 
-// Save writes the recorder's events as JSON lines.
+// CheckVersion validates a loaded header's version against FormatVersion.
+func CheckVersion(v int) error {
+	if v != FormatVersion {
+		return fmt.Errorf("trace: unsupported trace version %d (this build reads version %d)", v, FormatVersion)
+	}
+	return nil
+}
+
+// Save writes the recorder's events as JSON lines, preceded by the format
+// version header.
 func (r *Recorder) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
+	if err := enc.Encode(Header{V: FormatVersion}); err != nil {
+		return fmt.Errorf("trace: save: %w", err)
+	}
 	for _, e := range r.events {
-		if err := enc.Encode(toJSON(e)); err != nil {
+		if err := enc.Encode(ToWire(e)); err != nil {
 			return fmt.Errorf("trace: save: %w", err)
 		}
 	}
 	return nil
 }
 
-// Load reads a JSON-lines recording.
+// Load reads a JSON-lines recording. Traces carry a {"v":N} header line;
+// an unsupported version is a graceful error. Headerless streams (written
+// before versioning) are accepted as version 1.
 func Load(r io.Reader) ([]event.Event, error) {
 	dec := json.NewDecoder(r)
 	var out []event.Event
+	first := true
 	for {
-		var j jsonEvent
+		// Each line decodes into the event shape plus the optional header
+		// field; event lines never carry "v", so V != 0 identifies a header.
+		var j struct {
+			V int `json:"v"`
+			WireEvent
+		}
 		if err := dec.Decode(&j); err != nil {
 			if err == io.EOF {
 				return out, nil
 			}
 			return nil, fmt.Errorf("trace: load: %w", err)
 		}
-		out = append(out, fromJSON(j))
+		if first && j.V != 0 {
+			first = false
+			if err := CheckVersion(j.V); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		first = false
+		out = append(out, FromWire(j.WireEvent))
 	}
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"racefuzzer/internal/bench"
@@ -83,6 +84,41 @@ func samePairs(a, b []event.StmtPair) bool {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewBufferString("{not json")); err == nil {
 		t.Fatal("no error on garbage input")
+	}
+}
+
+func TestSaveWritesVersionHeaderFirst(t *testing.T) {
+	rec := New(0)
+	sched.Run(bench.Figure1(), sched.Config{Seed: 5, Observers: []sched.Observer{rec}})
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first, _, found := bytes.Cut(buf.Bytes(), []byte("\n"))
+	if !found || string(first) != `{"v":1}` {
+		t.Fatalf("first line = %q, want {\"v\":1}", first)
+	}
+}
+
+func TestLoadRejectsUnsupportedVersion(t *testing.T) {
+	_, err := Load(bytes.NewBufferString(`{"v":99}` + "\n"))
+	if err == nil {
+		t.Fatal("version 99 accepted")
+	}
+	if !strings.Contains(err.Error(), "unsupported trace version 99") {
+		t.Fatalf("unhelpful version error: %v", err)
+	}
+}
+
+func TestLoadAcceptsLegacyHeaderlessTrace(t *testing.T) {
+	// Streams written before versioning start directly with an event line.
+	in := `{"k":0,"t":1,"s":"legacy:1","m":2,"a":1,"l":-1,"g":0,"n":3}` + "\n"
+	events, err := Load(bytes.NewBufferString(in))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+	if events[0].Stmt.Name() != "legacy:1" || events[0].Step != 3 {
+		t.Fatalf("event = %v", events[0])
 	}
 }
 
