@@ -419,3 +419,36 @@ func BenchmarkFuzzSetBatched(b *testing.B) {
 		core.FuzzSet(bench.Figure1(), pairs, core.Options{Seed: int64(i), Phase2Trials: 20})
 	}
 }
+
+// BenchmarkAnalyzeParallel measures the campaign executor: the full
+// two-phase pipeline on jigsaw (the registry's widest phase-2 grid, ≥6
+// potential pairs × 50 trials) at increasing worker counts. The reports are
+// bit-identical at every width (TestParallelDeterminismRace); only the
+// wall-clock changes, and only when GOMAXPROCS offers real cores — on a
+// single-core box every width measures the same, plus a little pool
+// overhead.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	bm := bench.MustByName("jigsaw")
+	widths := []int{1, 2, -1} // -1 resolves to runtime.NumCPU()
+	for _, w := range widths {
+		name := fmt.Sprintf("workers=%d", w)
+		if w < 0 {
+			name = "workers=numcpu"
+		}
+		w := w
+		b.Run(name, func(b *testing.B) {
+			real := 0
+			for i := 0; i < b.N; i++ {
+				rep := core.Analyze(bm.New(), core.Options{
+					Seed:         12345,
+					Phase1Trials: bm.Phase1Trials,
+					Phase2Trials: 50,
+					MaxSteps:     bm.MaxSteps,
+					Workers:      w,
+				})
+				real = rep.RealCount()
+			}
+			b.ReportMetric(float64(real), "real-races")
+		})
+	}
+}

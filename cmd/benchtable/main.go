@@ -21,15 +21,16 @@ import (
 
 func main() {
 	var (
-		names  = flag.String("names", "", "comma-separated benchmark names (default: all)")
-		seed   = flag.Int64("seed", 12345, "base seed")
-		trials = flag.Int("trials", 100, "RaceFuzzer runs per potential pair")
-		timing = flag.Int("timing-runs", 5, "runs averaged per runtime column")
-		sweep  = flag.Bool("sweep", false, "also run the Figure-2 probability sweep")
-		only   = flag.Bool("sweep-only", false, "run only the Figure-2 sweep")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verify = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
-		trDir  = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
+		names   = flag.String("names", "", "comma-separated benchmark names (default: all)")
+		seed    = flag.Int64("seed", 12345, "base seed")
+		trials  = flag.Int("trials", 100, "RaceFuzzer runs per potential pair")
+		timing  = flag.Int("timing-runs", 5, "runs averaged per runtime column")
+		sweep   = flag.Bool("sweep", false, "also run the Figure-2 probability sweep")
+		only    = flag.Bool("sweep-only", false, "run only the Figure-2 sweep")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify  = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
+		trDir   = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
+		workers = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (tables are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		}
 		rows := harness.RunTable1(list, harness.Options{
 			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timing,
-			TraceDir: *trDir,
+			TraceDir: *trDir, Workers: *workers,
 		})
 		if *csv {
 			fmt.Print(harness.CSVTable1(rows))

@@ -49,6 +49,7 @@ func main() {
 		trDir   = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
 		dlMode  = flag.Bool("deadlocks", false, "run the deadlock-directed pipeline instead of races")
 		atMode  = flag.Bool("atomicity", false, "run the atomicity-directed pipeline instead of races")
+		workers = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (reports are identical at any setting)")
 
 		metrics    = flag.Bool("metrics", false, "print the campaign metrics table after the run")
 		jsonLog    = flag.String("json", "", "write a structured JSONL run log to this file (one record per execution)")
@@ -110,6 +111,7 @@ func main() {
 		MaxSteps:     b.MaxSteps,
 		Label:        b.Name,
 		TraceDir:     *trDir,
+		Workers:      *workers,
 	}
 	if opts.Phase1Trials == 0 {
 		opts.Phase1Trials = b.Phase1Trials

@@ -19,33 +19,41 @@ func DetectAtomicityTargets(prog Program, o Options) []AtomicityTarget {
 	o = o.withDefaults()
 	seen := make(map[string]bool)
 	var out []AtomicityTarget
-	for i := 0; i < o.Phase1Trials; i++ {
-		det := atomizer.New()
-		var rm *obs.RunMetrics
-		if o.observing() {
-			rm = obs.NewRunMetrics()
-		}
-		res := sched.Run(prog, sched.Config{
-			Seed:      o.Seed + int64(i),
-			Policy:    sched.NewRandomPolicy(),
-			Observers: []sched.Observer{det},
-			MaxSteps:  o.MaxSteps,
-			Metrics:   rm,
-		})
-		if o.observing() {
-			o.emit(phase1Record("atomicity", i, o.Seed+int64(i), res))
-		}
-		for _, c := range det.Candidates() {
-			key := fmt.Sprintf("%d/%d", c.First, c.Second)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			out = append(out, AtomicityTarget{
-				First: c.First, Second: c.Second, Interferers: c.Interferers,
-			})
-		}
+	type obsRun struct {
+		cands []atomizer.Candidate
+		res   *sched.Result
 	}
+	runOrdered(o.workerCount(), o.Phase1Trials,
+		func(i int) obsRun {
+			det := atomizer.New()
+			var rm *obs.RunMetrics
+			if o.observing() {
+				rm = obs.NewRunMetrics()
+			}
+			res := sched.Run(prog, sched.Config{
+				Seed:      o.Seed + int64(i),
+				Policy:    sched.NewRandomPolicy(),
+				Observers: []sched.Observer{det},
+				MaxSteps:  o.MaxSteps,
+				Metrics:   rm,
+			})
+			return obsRun{cands: det.Candidates(), res: res}
+		},
+		func(i int, r obsRun) {
+			if o.observing() {
+				o.emit(phase1Record("atomicity", i, o.Seed+int64(i), r.res))
+			}
+			for _, c := range r.cands {
+				key := fmt.Sprintf("%d/%d", c.First, c.Second)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, AtomicityTarget{
+					First: c.First, Second: c.Second, Interferers: c.Interferers,
+				})
+			}
+		})
 	return out
 }
 
@@ -85,59 +93,115 @@ func (a AtomicityReport) String() string {
 		a.Target.First, a.Target.Second, verdict, a.Probability, a.ViolationRuns, a.Trials, a.ExceptionRuns)
 }
 
-// ConfirmAtomicity is the atomicity phase 2.
+// ConfirmAtomicity is the atomicity phase 2. Trials run on the campaign
+// executor and are merged in trial order (see parallel.go).
 func ConfirmAtomicity(prog Program, target AtomicityTarget, targetIndex int, o Options) AtomicityReport {
 	o = o.withDefaults()
-	rep := AtomicityReport{Target: target, Trials: o.Phase2Trials, FirstTrial: -1}
-	for i := 0; i < o.Phase2Trials; i++ {
-		seed := pairSeed(o.Seed, targetIndex+9_000_000, i)
-		pol := NewAtomicityDirectedPolicy(target)
-		pol.MaxPostponeAge = o.MaxPostponeAge
-		var rm *obs.RunMetrics
-		if o.observing() {
-			rm = obs.NewRunMetrics()
-		}
-		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
-		violations := pol.Violations()
-		tracePath := ""
-		if len(violations) > 0 {
-			rep.ViolationRuns++
-			if rep.FirstTrial < 0 {
-				rep.FirstTrial = i
-				rep.FirstSeed = seed
-				if o.TraceDir != "" {
-					_, _, witness := RecordAtomicityRun(prog, target, seed, o)
-					tracePath, rep.TraceErr = capture(witness, o.witnessPath("atomicity", targetIndex, i))
-					rep.TracePath = tracePath
-				}
-			}
-			if len(res.Exceptions) > 0 {
-				rep.ExceptionRuns++
-			}
-		}
-		if o.observing() {
-			rec := runRecord("atomicity", targetIndex, i, seed, res)
-			rec.Pair = fmt.Sprintf("(%s, %s)", target.First, target.Second)
-			rec.RaceCreated = len(violations) > 0
-			rec.Races = len(violations)
-			if len(violations) > 0 {
-				rec.StepsToRace = violations[0].Step
-			}
-			rec.Trace = tracePath
-			o.emit(rec)
-		}
-	}
-	rep.IsReal = rep.ViolationRuns > 0
-	rep.Probability = float64(rep.ViolationRuns) / float64(rep.Trials)
-	return rep
+	agg := newAtomicityAgg(prog, target, targetIndex, o)
+	runOrdered(o.workerCount(), o.Phase2Trials,
+		func(i int) atomicityTrialResult { return atomicityTrial(prog, target, targetIndex, i, o) },
+		agg.add)
+	return agg.finish()
 }
 
-// AnalyzeAtomicity runs the full atomicity pipeline.
+// atomicityTrialResult is one directed execution's outcome: the scheduler
+// result plus the policy's recorded violations (the policy itself stays
+// worker-local).
+type atomicityTrialResult struct {
+	res        *sched.Result
+	violations []AtomicityViolation
+}
+
+func atomicityTrial(prog Program, target AtomicityTarget, targetIndex, i int, o Options) atomicityTrialResult {
+	seed := pairSeed(o.Seed, targetIndex+9_000_000, i)
+	pol := NewAtomicityDirectedPolicy(target)
+	pol.MaxPostponeAge = o.MaxPostponeAge
+	var rm *obs.RunMetrics
+	if o.observing() {
+		rm = obs.NewRunMetrics()
+	}
+	res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+	return atomicityTrialResult{res: res, violations: pol.Violations()}
+}
+
+// atomicityAgg folds ConfirmAtomicity trial results in trial order.
+type atomicityAgg struct {
+	prog        Program
+	targetIndex int
+	o           Options
+	rep         AtomicityReport
+}
+
+func newAtomicityAgg(prog Program, target AtomicityTarget, targetIndex int, o Options) *atomicityAgg {
+	return &atomicityAgg{
+		prog: prog, targetIndex: targetIndex, o: o,
+		rep: AtomicityReport{Target: target, Trials: o.Phase2Trials, FirstTrial: -1},
+	}
+}
+
+func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
+	rep, o := &a.rep, a.o
+	seed := pairSeed(o.Seed, a.targetIndex+9_000_000, i)
+	tracePath := ""
+	if len(r.violations) > 0 {
+		rep.ViolationRuns++
+		if rep.FirstTrial < 0 {
+			rep.FirstTrial = i
+			rep.FirstSeed = seed
+			if o.TraceDir != "" {
+				_, _, witness := RecordAtomicityRun(a.prog, rep.Target, seed, o)
+				tracePath, rep.TraceErr = capture(witness, o.witnessPath("atomicity", a.targetIndex, i))
+				rep.TracePath = tracePath
+			}
+		}
+		if len(r.res.Exceptions) > 0 {
+			rep.ExceptionRuns++
+		}
+	}
+	if o.observing() {
+		rec := runRecord("atomicity", a.targetIndex, i, seed, r.res)
+		rec.Pair = fmt.Sprintf("(%s, %s)", rep.Target.First, rep.Target.Second)
+		rec.RaceCreated = len(r.violations) > 0
+		rec.Races = len(r.violations)
+		if len(r.violations) > 0 {
+			rec.StepsToRace = r.violations[0].Step
+		}
+		rec.Trace = tracePath
+		o.emit(rec)
+	}
+}
+
+func (a *atomicityAgg) finish() AtomicityReport {
+	a.rep.IsReal = a.rep.ViolationRuns > 0
+	a.rep.Probability = float64(a.rep.ViolationRuns) / float64(a.rep.Trials)
+	return a.rep
+}
+
+// AnalyzeAtomicity runs the full atomicity pipeline. Like Analyze, phase 2
+// fans the whole (targetIndex, trial) grid across the campaign executor and
+// merges per target in trial order.
 func AnalyzeAtomicity(prog Program, o Options) []AtomicityReport {
+	o = o.withDefaults()
 	targets := DetectAtomicityTargets(prog, o)
+	if len(targets) == 0 {
+		return []AtomicityReport{}
+	}
+	trials := o.Phase2Trials
+	aggs := make([]*atomicityAgg, len(targets))
+	for ti, tg := range targets {
+		aggs[ti] = newAtomicityAgg(prog, tg, ti, o)
+	}
+	runOrdered(o.workerCount(), len(targets)*trials,
+		func(k int) atomicityTrialResult {
+			ti, i := k/trials, k%trials
+			return atomicityTrial(prog, targets[ti], ti, i, o)
+		},
+		func(k int, r atomicityTrialResult) {
+			aggs[k/trials].add(k%trials, r)
+		})
 	out := make([]AtomicityReport, 0, len(targets))
-	for i, tg := range targets {
-		out = append(out, ConfirmAtomicity(prog, tg, i, o))
+	for _, a := range aggs {
+		out = append(out, a.finish())
 	}
 	return out
 }

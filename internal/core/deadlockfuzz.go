@@ -25,39 +25,56 @@ func DetectPotentialDeadlocks(prog Program, o Options) []deadlock.Cycle {
 // DetectPotentialDeadlocksWithPolicy is DetectPotentialDeadlocks under an
 // explicit observation policy (nil = random). The graph analysis is
 // predictive: cycles are found even in executions that never deadlock.
+//
+// An explicit policy instance is stateful and shared across the trials, so
+// in that case the trials run sequentially regardless of Options.Workers;
+// with the default (nil) policy each trial builds its own and the trials
+// fan out across the campaign executor.
 func DetectPotentialDeadlocksWithPolicy(prog Program, o Options, pol sched.Policy) []deadlock.Cycle {
 	o = o.withDefaults()
 	type key struct{ a, b event.LockID }
 	union := make(map[key]deadlock.Cycle)
 	var order []key
-	for i := 0; i < o.Phase1Trials; i++ {
-		det := deadlock.New()
-		p := pol
-		if p == nil {
-			p = sched.NewRandomPolicy()
-		}
-		var rm *obs.RunMetrics
-		if o.observing() {
-			rm = obs.NewRunMetrics()
-		}
-		res := sched.Run(prog, sched.Config{
-			Seed:      o.Seed + int64(i),
-			Policy:    p,
-			Observers: []sched.Observer{det},
-			MaxSteps:  o.MaxSteps,
-			Metrics:   rm,
-		})
-		if o.observing() {
-			o.emit(phase1Record("deadlock", i, o.Seed+int64(i), res))
-		}
-		for _, c := range det.Cycles() {
-			k := key{c.Locks[0], c.Locks[1]}
-			if _, ok := union[k]; !ok {
-				union[k] = c
-				order = append(order, k)
-			}
-		}
+	workers := o.workerCount()
+	if pol != nil {
+		workers = 1
 	}
+	type obsRun struct {
+		cycles []deadlock.Cycle
+		res    *sched.Result
+	}
+	runOrdered(workers, o.Phase1Trials,
+		func(i int) obsRun {
+			det := deadlock.New()
+			p := pol
+			if p == nil {
+				p = sched.NewRandomPolicy()
+			}
+			var rm *obs.RunMetrics
+			if o.observing() {
+				rm = obs.NewRunMetrics()
+			}
+			res := sched.Run(prog, sched.Config{
+				Seed:      o.Seed + int64(i),
+				Policy:    p,
+				Observers: []sched.Observer{det},
+				MaxSteps:  o.MaxSteps,
+				Metrics:   rm,
+			})
+			return obsRun{cycles: det.Cycles(), res: res}
+		},
+		func(i int, r obsRun) {
+			if o.observing() {
+				o.emit(phase1Record("deadlock", i, o.Seed+int64(i), r.res))
+			}
+			for _, c := range r.cycles {
+				k := key{c.Locks[0], c.Locks[1]}
+				if _, ok := union[k]; !ok {
+					union[k] = c
+					order = append(order, k)
+				}
+			}
+		})
 	out := make([]deadlock.Cycle, 0, len(order))
 	for _, k := range order {
 		out = append(out, union[k])
@@ -100,50 +117,81 @@ func (d DeadlockReport) String() string {
 }
 
 // ConfirmDeadlock is the deadlock phase 2: Phase2Trials executions under a
-// DeadlockDirectedPolicy focused on the cycle's lock pair.
+// DeadlockDirectedPolicy focused on the cycle's lock pair. Trials run on the
+// campaign executor and are merged in trial order (see parallel.go).
 func ConfirmDeadlock(prog Program, cycle deadlock.Cycle, cycleIndex int, o Options) DeadlockReport {
 	o = o.withDefaults()
-	rep := DeadlockReport{Cycle: cycle, Trials: o.Phase2Trials, FirstTrial: -1}
-	target := [2]event.LockID{cycle.Locks[0], cycle.Locks[1]}
-	for i := 0; i < o.Phase2Trials; i++ {
-		seed := pairSeed(o.Seed, cycleIndex+7_000_000, i)
-		pol := NewDeadlockDirectedPolicy()
-		pol.TargetLocks = &target
-		pol.MaxPostponeAge = o.MaxPostponeAge
-		var rm *obs.RunMetrics
-		if o.observing() {
-			rm = obs.NewRunMetrics()
-		}
-		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
-		hit := res.Deadlock != nil && deadlockInvolves(res.Deadlock, target)
-		tracePath := ""
-		if hit {
-			rep.DeadlockRuns++
-			if rep.FirstTrial < 0 {
-				rep.FirstTrial = i
-				rep.FirstSeed = seed
-				if o.TraceDir != "" {
-					_, witness := RecordDeadlockRun(prog, target, seed, o)
-					tracePath, rep.TraceErr = capture(witness, o.witnessPath("deadlock", cycleIndex, i))
-					rep.TracePath = tracePath
-				}
+	agg := newDeadlockAgg(prog, cycle, cycleIndex, o)
+	runOrdered(o.workerCount(), o.Phase2Trials,
+		func(i int) *sched.Result { return deadlockTrial(prog, agg.target, cycleIndex, i, o) },
+		agg.add)
+	return agg.finish()
+}
+
+// deadlockTrial is one directed execution of the deadlock phase 2.
+func deadlockTrial(prog Program, target [2]event.LockID, cycleIndex, i int, o Options) *sched.Result {
+	pol := NewDeadlockDirectedPolicy()
+	pol.TargetLocks = &target
+	pol.MaxPostponeAge = o.MaxPostponeAge
+	var rm *obs.RunMetrics
+	if o.observing() {
+		rm = obs.NewRunMetrics()
+	}
+	seed := pairSeed(o.Seed, cycleIndex+7_000_000, i)
+	return sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+}
+
+// deadlockAgg folds ConfirmDeadlock trial results in trial order.
+type deadlockAgg struct {
+	prog       Program
+	cycleIndex int
+	o          Options
+	target     [2]event.LockID
+	rep        DeadlockReport
+}
+
+func newDeadlockAgg(prog Program, cycle deadlock.Cycle, cycleIndex int, o Options) *deadlockAgg {
+	return &deadlockAgg{
+		prog: prog, cycleIndex: cycleIndex, o: o,
+		target: [2]event.LockID{cycle.Locks[0], cycle.Locks[1]},
+		rep:    DeadlockReport{Cycle: cycle, Trials: o.Phase2Trials, FirstTrial: -1},
+	}
+}
+
+func (a *deadlockAgg) add(i int, res *sched.Result) {
+	rep, o := &a.rep, a.o
+	seed := pairSeed(o.Seed, a.cycleIndex+7_000_000, i)
+	hit := res.Deadlock != nil && deadlockInvolves(res.Deadlock, a.target)
+	tracePath := ""
+	if hit {
+		rep.DeadlockRuns++
+		if rep.FirstTrial < 0 {
+			rep.FirstTrial = i
+			rep.FirstSeed = seed
+			if o.TraceDir != "" {
+				_, witness := RecordDeadlockRun(a.prog, a.target, seed, o)
+				tracePath, rep.TraceErr = capture(witness, o.witnessPath("deadlock", a.cycleIndex, i))
+				rep.TracePath = tracePath
 			}
-		}
-		if o.observing() {
-			rec := runRecord("deadlock", cycleIndex, i, seed, res)
-			rec.Pair = fmt.Sprintf("(%s, %s)", cycle.Locks[0], cycle.Locks[1])
-			rec.RaceCreated = hit
-			if hit {
-				rec.Races = 1
-				rec.StepsToRace = res.Deadlock.Step
-			}
-			rec.Trace = tracePath
-			o.emit(rec)
 		}
 	}
-	rep.IsReal = rep.DeadlockRuns > 0
-	rep.Probability = float64(rep.DeadlockRuns) / float64(rep.Trials)
-	return rep
+	if o.observing() {
+		rec := runRecord("deadlock", a.cycleIndex, i, seed, res)
+		rec.Pair = fmt.Sprintf("(%s, %s)", rep.Cycle.Locks[0], rep.Cycle.Locks[1])
+		rec.RaceCreated = hit
+		if hit {
+			rec.Races = 1
+			rec.StepsToRace = res.Deadlock.Step
+		}
+		rec.Trace = tracePath
+		o.emit(rec)
+	}
+}
+
+func (a *deadlockAgg) finish() DeadlockReport {
+	a.rep.IsReal = a.rep.DeadlockRuns > 0
+	a.rep.Probability = float64(a.rep.DeadlockRuns) / float64(a.rep.Trials)
+	return a.rep
 }
 
 // deadlockInvolves reports whether a detected deadlock includes a thread
@@ -158,12 +206,31 @@ func deadlockInvolves(d *sched.DeadlockInfo, target [2]event.LockID) bool {
 	return false
 }
 
-// AnalyzeDeadlocks runs the full deadlock pipeline.
+// AnalyzeDeadlocks runs the full deadlock pipeline. Like Analyze, phase 2
+// fans the whole (cycleIndex, trial) grid across the campaign executor and
+// merges per cycle in trial order.
 func AnalyzeDeadlocks(prog Program, o Options) []DeadlockReport {
+	o = o.withDefaults()
 	cycles := DetectPotentialDeadlocks(prog, o)
+	if len(cycles) == 0 {
+		return []DeadlockReport{}
+	}
+	trials := o.Phase2Trials
+	aggs := make([]*deadlockAgg, len(cycles))
+	for ci, c := range cycles {
+		aggs[ci] = newDeadlockAgg(prog, c, ci, o)
+	}
+	runOrdered(o.workerCount(), len(cycles)*trials,
+		func(k int) *sched.Result {
+			ci, i := k/trials, k%trials
+			return deadlockTrial(prog, aggs[ci].target, ci, i, o)
+		},
+		func(k int, res *sched.Result) {
+			aggs[k/trials].add(k%trials, res)
+		})
 	out := make([]DeadlockReport, 0, len(cycles))
-	for i, c := range cycles {
-		out = append(out, ConfirmDeadlock(prog, c, i, o))
+	for _, a := range aggs {
+		out = append(out, a.finish())
 	}
 	return out
 }

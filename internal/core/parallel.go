@@ -1,0 +1,110 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The campaign executor. Every pipeline in this package is a loop over
+// independent trials — phase-1 detector observations, phase-2 directed runs
+// over a (target, trial) grid — and each trial's schedule is a pure function
+// of its derived seed (the paper's replay guarantee, §2.2/§4). That makes
+// campaigns embarrassingly parallel, with one catch: the *aggregation* is
+// order-sensitive. FirstRaceTrial must be the first confirming trial in
+// trial order (not the first to finish), telemetry records must reach sinks
+// in a deterministic order, and witness capture must target the in-order
+// first confirming trial.
+//
+// runOrdered is the whole abstraction: tasks execute on a bounded worker
+// pool in whatever order the pool gets to them, while the caller's consume
+// function observes results in strictly increasing task order on the calling
+// goroutine. Aggregation code therefore reads exactly like the sequential
+// loop it replaced, and a campaign's outputs are bit-identical at any worker
+// count — the determinism cross-check tests assert this for all three
+// pipelines.
+
+// workerCount resolves Options.Workers to a concrete pool size:
+// 0 or 1 → sequential, N > 1 → N workers, negative → runtime.NumCPU().
+func (o Options) workerCount() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.NumCPU()
+	case o.Workers <= 1:
+		return 1
+	}
+	return o.Workers
+}
+
+// runOrdered executes task(0..n-1) with up to workers concurrent executions
+// and calls consume(i, result) for every i in strictly increasing order on
+// the caller's goroutine. With workers <= 1 it degenerates to the plain
+// interleaved loop `consume(i, task(i))`, so the sequential path is
+// literally the pre-executor code path.
+//
+// Tasks must be independent of one another; consume may be slow (e.g. the
+// witness-capture re-run) without stalling the pool — workers keep filling
+// later slots while the caller drains earlier ones. A panicking task stops
+// the dispatch of new tasks, and the panic is re-raised on the caller's
+// goroutine after in-flight tasks drain, matching sequential behaviour.
+func runOrdered[T any](workers, n int, task func(i int) T, consume func(i int, r T)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			consume(i, task(i))
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type slot struct {
+		ready    chan struct{}
+		result   T
+		panicked any
+	}
+	slots := make([]slot, n)
+	for i := range slots {
+		slots[i].ready = make(chan struct{})
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							slots[i].panicked = p
+						}
+						close(slots[i].ready)
+					}()
+					slots[i].result = task(i)
+				}()
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		<-slots[i].ready
+		if p := slots[i].panicked; p != nil {
+			// Stop dispatching, let in-flight tasks drain, then surface the
+			// panic where the sequential loop would have raised it.
+			next.Store(int64(n))
+			wg.Wait()
+			panic(p)
+		}
+		consume(i, slots[i].result)
+	}
+	wg.Wait()
+}

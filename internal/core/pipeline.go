@@ -30,6 +30,15 @@ type Options struct {
 	MaxSteps int
 	// MaxPostponeAge configures the livelock monitor (see RaceFuzzerPolicy).
 	MaxPostponeAge int
+	// Workers bounds the campaign executor's parallelism: 0 or 1 runs every
+	// trial sequentially on the caller's goroutine, N > 1 fans independent
+	// trials across N workers, and any negative value uses runtime.NumCPU().
+	// Reports, per-target fields and witness paths are bit-identical at any
+	// worker count: each trial's schedule is a pure function of its derived
+	// seed, and trial results are merged in trial order (see parallel.go).
+	// Programs must allocate their state per invocation (as every registry
+	// model does) so independent trials can execute concurrently.
+	Workers int
 
 	// Label annotates telemetry records with the campaign's name (usually
 	// the benchmark under test).
@@ -123,26 +132,34 @@ func pairSeed(base int64, pi, i int) int64 {
 func DetectPotentialRaces(prog Program, o Options) []event.StmtPair {
 	o = o.withDefaults()
 	union := make(map[event.StmtPair]bool)
-	for i := 0; i < o.Phase1Trials; i++ {
-		det := hybrid.New()
-		var rm *obs.RunMetrics
-		if o.observing() {
-			rm = obs.NewRunMetrics()
-		}
-		res := sched.Run(prog, sched.Config{
-			Seed:      o.Seed + int64(i),
-			Policy:    sched.NewRandomPolicy(),
-			Observers: []sched.Observer{det},
-			MaxSteps:  o.MaxSteps,
-			Metrics:   rm,
-		})
-		for _, p := range det.Pairs() {
-			union[p] = true
-		}
-		if o.observing() {
-			o.emit(phase1Record("race", i, o.Seed+int64(i), res))
-		}
+	type obsRun struct {
+		pairs []event.StmtPair
+		res   *sched.Result
 	}
+	runOrdered(o.workerCount(), o.Phase1Trials,
+		func(i int) obsRun {
+			det := hybrid.New()
+			var rm *obs.RunMetrics
+			if o.observing() {
+				rm = obs.NewRunMetrics()
+			}
+			res := sched.Run(prog, sched.Config{
+				Seed:      o.Seed + int64(i),
+				Policy:    sched.NewRandomPolicy(),
+				Observers: []sched.Observer{det},
+				MaxSteps:  o.MaxSteps,
+				Metrics:   rm,
+			})
+			return obsRun{pairs: det.Pairs(), res: res}
+		},
+		func(i int, r obsRun) {
+			for _, p := range r.pairs {
+				union[p] = true
+			}
+			if o.observing() {
+				o.emit(phase1Record("race", i, o.Seed+int64(i), r.res))
+			}
+		})
 	out := make([]event.StmtPair, 0, len(union))
 	for p := range union {
 		out = append(out, p)
@@ -249,71 +266,108 @@ func (p PairReport) String() string {
 
 // FuzzPair runs phase 2 for one pair: Phase2Trials independent RaceFuzzer
 // executions with derived seeds. pairIndex salts the seed stream so pairs
-// explore different schedules.
+// explore different schedules. Trials run on the campaign executor
+// (Options.Workers); results are folded in trial order, so the report is
+// identical at any worker count.
 func FuzzPair(prog Program, pair event.StmtPair, pairIndex int, o Options) PairReport {
 	o = o.withDefaults()
-	rep := PairReport{Pair: pair, Trials: o.Phase2Trials, FirstRaceTrial: -1, FirstExceptionTrial: -1}
-	kinds := make(map[string]bool)
-	var stepsToRace *obs.Histogram
+	agg := newPairAgg(prog, pair, pairIndex, o)
+	runOrdered(o.workerCount(), o.Phase2Trials,
+		func(i int) *RunReport {
+			return FuzzRun(prog, pair, pairSeed(o.Seed, pairIndex, i), o)
+		},
+		agg.add)
+	return agg.finish()
+}
+
+// pairAgg folds one pair's phase-2 trial results into a PairReport. add must
+// be called in strictly increasing trial order — the executor guarantees it —
+// so first-trial fields, histogram contents and record emission are the
+// sequential loop's, whatever order trials actually executed in.
+type pairAgg struct {
+	prog        Program
+	pairIndex   int
+	o           Options
+	rep         PairReport
+	kinds       map[string]bool
+	stepsToRace *obs.Histogram
+}
+
+func newPairAgg(prog Program, pair event.StmtPair, pairIndex int, o Options) *pairAgg {
+	a := &pairAgg{
+		prog: prog, pairIndex: pairIndex, o: o,
+		rep:   PairReport{Pair: pair, Trials: o.Phase2Trials, FirstRaceTrial: -1, FirstExceptionTrial: -1},
+		kinds: make(map[string]bool),
+	}
 	if o.observing() {
-		stepsToRace = obs.NewStepsToRaceHistogram()
+		a.stepsToRace = obs.NewStepsToRaceHistogram()
 	}
-	for i := 0; i < o.Phase2Trials; i++ {
-		seed := pairSeed(o.Seed, pairIndex, i)
-		run := FuzzRun(prog, pair, seed, o)
-		rep.TotalSteps += int64(run.Result.Steps)
-		firstRaceStep := -1
-		tracePath := ""
-		if run.RaceCreated {
-			firstRaceStep = run.Races[0].Step
-			stepsToRace.Observe(float64(firstRaceStep))
-			rep.RaceRuns++
-			if rep.FirstRaceTrial < 0 {
-				rep.FirstRaceTrial = i
-				rep.FirstRaceSeed = seed
-				if o.TraceDir != "" {
-					_, witness := RecordRace(prog, pair, seed, o)
-					tracePath, rep.TraceErr = capture(witness, o.witnessPath("race", pairIndex, i))
-					rep.TracePath = tracePath
-				}
-			}
-			if len(run.Result.Exceptions) > 0 {
-				rep.ExceptionRuns++
-				if rep.FirstExceptionTrial < 0 {
-					rep.FirstExceptionTrial = i
-					rep.FirstExceptionSeed = seed
-				}
-				for _, ex := range run.Result.Exceptions {
-					kinds[exceptionKind(ex)] = true
-				}
+	return a
+}
+
+// add folds trial i. The witness-capture re-run for the first confirming
+// trial happens here, on the consuming goroutine: under a parallel executor
+// it is an ordinary extra task that never blocks the trial pool, and because
+// add observes trials in order it records the deterministic first confirming
+// trial, not the first to finish.
+func (a *pairAgg) add(i int, run *RunReport) {
+	rep, o, seed := &a.rep, a.o, run.Seed
+	rep.TotalSteps += int64(run.Result.Steps)
+	firstRaceStep := -1
+	tracePath := ""
+	if run.RaceCreated {
+		firstRaceStep = run.Races[0].Step
+		a.stepsToRace.Observe(float64(firstRaceStep))
+		rep.RaceRuns++
+		if rep.FirstRaceTrial < 0 {
+			rep.FirstRaceTrial = i
+			rep.FirstRaceSeed = seed
+			if o.TraceDir != "" {
+				_, witness := RecordRace(a.prog, rep.Pair, seed, o)
+				tracePath, rep.TraceErr = capture(witness, o.witnessPath("race", a.pairIndex, i))
+				rep.TracePath = tracePath
 			}
 		}
-		if run.Result.Deadlock != nil {
-			rep.DeadlockRuns++
-		}
-		if stats := run.Result.Stats; stats != nil {
-			rep.TotalSwitches += int64(stats.Switches)
-			rep.TotalDecisions += int64(stats.Decisions)
-			rep.TotalPostpones += int64(stats.Postpones)
-		}
-		if o.observing() {
-			rec := runRecord("race", pairIndex, i, seed, run.Result)
-			rec.Pair = pair.String()
-			rec.RaceCreated = run.RaceCreated
-			rec.Races = len(run.Races)
-			rec.StepsToRace = firstRaceStep
-			rec.Trace = tracePath
-			o.emit(rec)
+		if len(run.Result.Exceptions) > 0 {
+			rep.ExceptionRuns++
+			if rep.FirstExceptionTrial < 0 {
+				rep.FirstExceptionTrial = i
+				rep.FirstExceptionSeed = seed
+			}
+			for _, ex := range run.Result.Exceptions {
+				a.kinds[exceptionKind(ex)] = true
+			}
 		}
 	}
-	rep.StepsToRace = stepsToRace.Snapshot()
+	if run.Result.Deadlock != nil {
+		rep.DeadlockRuns++
+	}
+	if stats := run.Result.Stats; stats != nil {
+		rep.TotalSwitches += int64(stats.Switches)
+		rep.TotalDecisions += int64(stats.Decisions)
+		rep.TotalPostpones += int64(stats.Postpones)
+	}
+	if o.observing() {
+		rec := runRecord("race", a.pairIndex, i, seed, run.Result)
+		rec.Pair = rep.Pair.String()
+		rec.RaceCreated = run.RaceCreated
+		rec.Races = len(run.Races)
+		rec.StepsToRace = firstRaceStep
+		rec.Trace = tracePath
+		o.emit(rec)
+	}
+}
+
+func (a *pairAgg) finish() PairReport {
+	rep := &a.rep
+	rep.StepsToRace = a.stepsToRace.Snapshot()
 	rep.IsReal = rep.RaceRuns > 0
 	rep.Probability = float64(rep.RaceRuns) / float64(rep.Trials)
-	for k := range kinds {
+	for k := range a.kinds {
 		rep.ExceptionKinds = append(rep.ExceptionKinds, k)
 	}
 	sort.Strings(rep.ExceptionKinds)
-	return rep
+	return a.rep
 }
 
 // exceptionKind reduces an exception to its class-like prefix, so distinct
@@ -358,36 +412,45 @@ func (s SetReport) Confirmed() []event.StmtPair {
 func FuzzSet(prog Program, pairs []event.StmtPair, o Options) SetReport {
 	o = o.withDefaults()
 	rep := SetReport{Pairs: pairs, Trials: o.Phase2Trials, ConfirmedRuns: make(map[event.StmtPair]int)}
-	for i := 0; i < o.Phase2Trials; i++ {
-		seed := pairSeed(o.Seed, 3_000_000, i)
-		pol := NewRaceFuzzerSetPolicy(pairs)
-		pol.MaxPostponeAge = o.MaxPostponeAge
-		var rm *obs.RunMetrics
-		if o.observing() {
-			rm = obs.NewRunMetrics()
-			pol.Metrics = rm
-		}
-		res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
-		seen := make(map[event.StmtPair]bool)
-		for _, rr := range pol.Races() {
-			if !seen[rr.Target] {
-				seen[rr.Target] = true
-				rep.ConfirmedRuns[rr.Target]++
-			}
-		}
-		if pol.RaceCreated() && len(res.Exceptions) > 0 {
-			rep.ExceptionRuns++
-		}
-		if o.observing() {
-			rec := runRecord("race-set", -1, i, seed, res)
-			rec.RaceCreated = pol.RaceCreated()
-			rec.Races = len(pol.Races())
-			if races := pol.Races(); len(races) > 0 {
-				rec.StepsToRace = races[0].Step
-			}
-			o.emit(rec)
-		}
+	type setRun struct {
+		res     *sched.Result
+		races   []RealRace
+		created bool
 	}
+	runOrdered(o.workerCount(), o.Phase2Trials,
+		func(i int) setRun {
+			seed := pairSeed(o.Seed, 3_000_000, i)
+			pol := NewRaceFuzzerSetPolicy(pairs)
+			pol.MaxPostponeAge = o.MaxPostponeAge
+			var rm *obs.RunMetrics
+			if o.observing() {
+				rm = obs.NewRunMetrics()
+				pol.Metrics = rm
+			}
+			res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+			return setRun{res: res, races: pol.Races(), created: pol.RaceCreated()}
+		},
+		func(i int, r setRun) {
+			seen := make(map[event.StmtPair]bool)
+			for _, rr := range r.races {
+				if !seen[rr.Target] {
+					seen[rr.Target] = true
+					rep.ConfirmedRuns[rr.Target]++
+				}
+			}
+			if r.created && len(r.res.Exceptions) > 0 {
+				rep.ExceptionRuns++
+			}
+			if o.observing() {
+				rec := runRecord("race-set", -1, i, pairSeed(o.Seed, 3_000_000, i), r.res)
+				rec.RaceCreated = r.created
+				rec.Races = len(r.races)
+				if len(r.races) > 0 {
+					rec.StepsToRace = r.races[0].Step
+				}
+				o.emit(rec)
+			}
+		})
 	return rep
 }
 
@@ -458,12 +521,33 @@ func (r *Report) TotalDecisions() int64 {
 }
 
 // Analyze runs the complete pipeline: phase 1, then phase 2 for every
-// reported pair.
+// reported pair. Phase 2 fans the whole (pairIndex, trial) grid across the
+// campaign executor rather than parallelizing pair-by-pair, so a pair with a
+// straggling trial never idles the pool; per-pair aggregation still happens
+// in (pairIndex, trial) order, keeping the report bit-identical at any
+// worker count.
 func Analyze(prog Program, o Options) *Report {
 	o = o.withDefaults()
 	rep := &Report{Potential: DetectPotentialRaces(prog, o)}
-	for i, pair := range rep.Potential {
-		rep.Pairs = append(rep.Pairs, FuzzPair(prog, pair, i, o))
+	npairs := len(rep.Potential)
+	if npairs == 0 {
+		return rep
+	}
+	trials := o.Phase2Trials
+	aggs := make([]*pairAgg, npairs)
+	for pi, pair := range rep.Potential {
+		aggs[pi] = newPairAgg(prog, pair, pi, o)
+	}
+	runOrdered(o.workerCount(), npairs*trials,
+		func(k int) *RunReport {
+			pi, i := k/trials, k%trials
+			return FuzzRun(prog, rep.Potential[pi], pairSeed(o.Seed, pi, i), o)
+		},
+		func(k int, run *RunReport) {
+			aggs[k/trials].add(k%trials, run)
+		})
+	for _, a := range aggs {
+		rep.Pairs = append(rep.Pairs, a.finish())
 	}
 	return rep
 }

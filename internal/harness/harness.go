@@ -33,6 +33,11 @@ type Options struct {
 	// TraceDir, when non-empty, auto-captures a flight recording of each
 	// target's first confirming run there (core.Options.TraceDir).
 	TraceDir string
+	// Workers sets the pipeline's trial executor width (core.Options.Workers):
+	// 0 or 1 = sequential, N > 1 = pool of N, negative = GOMAXPROCS. Measured
+	// counts and reports are identical at any setting; only the timing columns
+	// reflect the parallelism.
+	Workers int
 	// Metrics, when non-nil, aggregates pipeline telemetry across every
 	// benchmark measured by this harness invocation.
 	Metrics *obs.CampaignMetrics
@@ -139,6 +144,7 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 		Label:        b.Name,
 		TraceDir:     o.TraceDir,
 		Metrics:      perBench,
+		Workers:      o.Workers,
 	}
 	var sinks obs.MultiSink
 	if o.Metrics != nil {

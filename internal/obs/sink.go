@@ -11,6 +11,13 @@ import (
 // pipeline (one phase-1 observation or one phase-2 directed run). It is the
 // JSONL schema written by JSONLSink and the unit CampaignMetrics aggregates.
 type RunRecord struct {
+	// Seq is the record's monotonic emission index (0-based), stamped by
+	// JSONLSink under its lock as records arrive. The campaign pipelines
+	// emit in deterministic (phase, pairIndex, trial) order even under a
+	// parallel executor — the merge goroutine is single — so Seq is
+	// deterministic too; for sinks fed by concurrent emitters it makes the
+	// log's total order explicit and the file sortable after the fact.
+	Seq int64 `json:"seq"`
 	// Label names the campaign (usually the benchmark name).
 	Label string `json:"label,omitempty"`
 	// Phase is 1 (detector observation) or 2 (directed run).
@@ -55,9 +62,12 @@ type RunRecord struct {
 	Stats *RunStats `json:"-"`
 }
 
-// Sink consumes run records. Implementations must be safe for sequential
-// use from the campaign goroutine; Emit must not block on the schedule
-// (sinks run between executions, never inside one).
+// Sink consumes run records. The campaign pipelines emit from a single
+// merge goroutine in deterministic (phase, pairIndex, trial) order even when
+// trials run on a parallel executor, but implementations must tolerate
+// concurrent Emit calls anyway (callers may fan several campaigns into one
+// sink); the provided sinks all lock internally. Emit must not block on the
+// schedule (sinks run between executions, never inside one).
 type Sink interface {
 	Emit(rec RunRecord)
 }
@@ -92,6 +102,7 @@ type JSONLSink struct {
 	c   io.Closer
 	enc *json.Encoder
 	err error
+	seq int64
 }
 
 // NewJSONLSink wraps w. If w is also an io.Closer, Close closes it.
@@ -104,13 +115,18 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return s
 }
 
-// Emit implements Sink.
+// Emit implements Sink. It is safe for concurrent use: each record is
+// stamped with the sink's next Seq and encoded whole under the lock, so
+// parallel emitters can never interleave bytes, and the stream's arrival
+// order stays reconstructible from the Seq column.
 func (s *JSONLSink) Emit(rec RunRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
+	rec.Seq = s.seq
+	s.seq++
 	s.err = s.enc.Encode(rec)
 }
 
