@@ -5,9 +5,14 @@
 //	benchtable -names figure1,sor   # selected rows
 //	benchtable -sweep               # the Figure-2 probability sweep (§3.2)
 //	benchtable -trials 100 -seed 7
+//	benchtable -budget 600 -corpusdir corpus   # adaptive budget campaign
 //
 // Output: the measured table, the paper's original numbers for side-by-side
 // comparison, and (with -sweep) the probability-vs-prefix-length experiment.
+// With -budget the tool instead runs the adaptive campaign: one global
+// phase-2 trial budget split across benchmarks round by round, reweighted
+// toward targets still producing new corpus signatures; -corpusdir persists
+// the findings (and enables cross-run dedup) like cmd/racefuzzer.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/harness"
 )
 
@@ -31,17 +37,58 @@ func main() {
 		verify  = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
 		trDir   = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
 		workers = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (tables are identical at any setting)")
+
+		corpusDir = flag.String("corpusdir", "", "persist confirmed findings (dedup, coverage, witnesses) in this corpus directory")
+		budget    = flag.Int("budget", 0, "run the adaptive campaign instead of Table 1: split this global phase-2 trial budget across the benchmarks")
+		rounds    = flag.Int("rounds", 3, "with -budget: number of adaptive allocation rounds")
 	)
 	flag.Parse()
 
-	if !*only {
-		var list []string
-		if *names != "" {
-			list = strings.Split(*names, ",")
+	var list []string
+	if *names != "" {
+		list = strings.Split(*names, ",")
+	}
+
+	var store *corpus.Store
+	if *corpusDir != "" {
+		var err error
+		store, err = corpus.Open(*corpusDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: -corpusdir: %v\n", err)
+			os.Exit(1)
 		}
+	}
+	saveCorpus := func() {
+		if store == nil {
+			return
+		}
+		n, k := store.Counts()
+		fmt.Printf("\ncorpus: %d new signature(s), %d known re-sighting(s), %d total (%s)\n",
+			n, k, store.Len(), *corpusDir)
+		if err := store.Save(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: corpus save: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *budget > 0 {
+		traceDir := *trDir
+		if traceDir == "" && store != nil {
+			traceDir = store.WitnessDir()
+		}
+		rows := harness.RunAdaptiveCampaign(list, harness.CampaignOptions{
+			Seed: *seed, Budget: *budget, Rounds: *rounds, Workers: *workers,
+			Corpus: store, TraceDir: traceDir,
+		})
+		fmt.Println(harness.RenderCampaign(rows))
+		saveCorpus()
+		return
+	}
+
+	if !*only {
 		rows := harness.RunTable1(list, harness.Options{
 			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timing,
-			TraceDir: *trDir, Workers: *workers,
+			TraceDir: *trDir, Workers: *workers, Corpus: store,
 		})
 		if *csv {
 			fmt.Print(harness.CSVTable1(rows))
@@ -49,6 +96,7 @@ func main() {
 			fmt.Println(harness.RenderTable1(rows))
 			fmt.Println(harness.RenderPaperTable(rows))
 		}
+		saveCorpus()
 		if *verify {
 			out, ok := harness.VerifyAll(rows)
 			fmt.Print(out)

@@ -6,11 +6,21 @@
 //	racefuzzer -bench cache4j -trials 200     # more fuzzing per pair
 //	racefuzzer -bench figure2 -pair 0 -replay 12345 -trace
 //	racefuzzer -bench figure1 -metrics -json runs.jsonl -progress
+//	racefuzzer -bench figure1 -corpusdir corpus   # dedup against prior runs
+//	racefuzzer -corpusdir corpus -budget 600      # adaptive campaign, all benches
+//	racefuzzer -corpusdir corpus -regress         # replay every stored witness
 //
 // The tool prints phase-1's potential races, then each pair's verdict:
 // whether RaceFuzzer confirmed it real, the race-creation probability, and
 // any exceptions exposed by random race resolution. Replays are exact: the
 // seed fully determines the schedule.
+//
+// Corpus flags (see README "Race corpus"): -corpusdir persists every
+// confirmed finding under a canonical signature so repeated campaigns mark
+// re-sightings "[known]" and only archive witnesses for new signatures;
+// -budget runs the adaptive campaign, splitting one global trial budget
+// across targets toward the ones still discovering; -regress replays every
+// stored witness and fails (exit 1) on any divergence or signature churn.
 //
 // Observability flags (see README "Observability"): -metrics prints a
 // campaign metrics table, -json writes one structured record per execution
@@ -28,7 +38,9 @@ import (
 
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/core"
+	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/flightrec"
+	"racefuzzer/internal/harness"
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
 	"racefuzzer/internal/trace"
@@ -50,6 +62,11 @@ func main() {
 		dlMode  = flag.Bool("deadlocks", false, "run the deadlock-directed pipeline instead of races")
 		atMode  = flag.Bool("atomicity", false, "run the atomicity-directed pipeline instead of races")
 		workers = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (reports are identical at any setting)")
+
+		corpusDir = flag.String("corpusdir", "", "persist confirmed findings (dedup, coverage, witnesses) in this corpus directory")
+		budget    = flag.Int("budget", 0, "run the adaptive campaign: split this global phase-2 trial budget across all benchmarks (or just -bench)")
+		rounds    = flag.Int("rounds", 3, "with -budget: number of adaptive allocation rounds")
+		regress   = flag.Bool("regress", false, "with -corpusdir: replay every stored finding and fail on divergence or signature churn")
 
 		metrics    = flag.Bool("metrics", false, "print the campaign metrics table after the run")
 		jsonLog    = flag.String("json", "", "write a structured JSONL run log to this file (one record per execution)")
@@ -95,14 +112,61 @@ func main() {
 		fmt.Print(rec.Explain())
 		return
 	}
-	if *name == "" {
-		fmt.Fprintln(os.Stderr, "racefuzzer: -bench is required (try -list)")
+	// Open the corpus before choosing a mode: regress reads it, the adaptive
+	// campaign and the normal pipelines write through it.
+	var store *corpus.Store
+	if *corpusDir != "" {
+		var err error
+		store, err = corpus.Open(*corpusDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -corpusdir: %v\n", err)
+			os.Exit(1)
+		}
+		if store.Truncated() {
+			fmt.Fprintf(os.Stderr, "racefuzzer: warning: corpus %s ended in a partial record (crash mid-save); it was skipped\n", *corpusDir)
+		}
+	}
+	// Witness captures belong to the corpus unless the user pointed them
+	// elsewhere explicitly.
+	traceDir := *trDir
+	if traceDir == "" && store != nil {
+		traceDir = store.WitnessDir()
+	}
+
+	if *regress {
+		if store == nil {
+			fmt.Fprintln(os.Stderr, "racefuzzer: -regress requires -corpusdir")
+			os.Exit(2)
+		}
+		results, ok := harness.Regress(store)
+		fmt.Printf("regress: replaying %d stored finding(s) from %s\n", len(results), *corpusDir)
+		failed := 0
+		for _, r := range results {
+			if !r.OK() {
+				failed++
+			}
+			fmt.Printf("  %v\n", r)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "racefuzzer: regress: %d of %d finding(s) failed\n", failed, len(results))
+			os.Exit(1)
+		}
+		fmt.Printf("regress: all %d finding(s) reproduced and matched their witnesses\n", len(results))
+		return
+	}
+
+	if *name == "" && *budget <= 0 {
+		fmt.Fprintln(os.Stderr, "racefuzzer: -bench is required (try -list), or run a campaign with -budget")
 		os.Exit(2)
 	}
-	b, ok := bench.ByName(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "racefuzzer: unknown benchmark %q (try -list)\n", *name)
-		os.Exit(2)
+	var b bench.Benchmark
+	if *name != "" {
+		var ok bool
+		b, ok = bench.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "racefuzzer: unknown benchmark %q (try -list)\n", *name)
+			os.Exit(2)
+		}
 	}
 	opts := core.Options{
 		Seed:         *seed,
@@ -110,8 +174,9 @@ func main() {
 		Phase2Trials: *trials,
 		MaxSteps:     b.MaxSteps,
 		Label:        b.Name,
-		TraceDir:     *trDir,
+		TraceDir:     traceDir,
 		Workers:      *workers,
+		Corpus:       store,
 	}
 	if opts.Phase1Trials == 0 {
 		opts.Phase1Trials = b.Phase1Trials
@@ -186,6 +251,35 @@ func main() {
 			fmt.Println()
 			fmt.Print(campaign.Snapshot().Table("campaign metrics").Render())
 		}
+		if store != nil {
+			n, k := store.Counts()
+			fmt.Printf("\ncorpus: %d new signature(s), %d known re-sighting(s), %d total (%s)\n",
+				n, k, store.Len(), *corpusDir)
+			if err := store.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: corpus save: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *budget > 0 {
+		var names []string
+		if *name != "" {
+			names = []string{*name}
+		}
+		rows := harness.RunAdaptiveCampaign(names, harness.CampaignOptions{
+			Seed:     *seed,
+			Budget:   *budget,
+			Rounds:   *rounds,
+			Workers:  *workers,
+			Corpus:   store,
+			TraceDir: traceDir,
+			Metrics:  campaign,
+			Sink:     opts.Sink,
+		})
+		fmt.Print(harness.RenderCampaign(rows))
+		finishObservers()
+		return
 	}
 
 	fmt.Printf("== %s: %s\n", b.Name, b.Description)

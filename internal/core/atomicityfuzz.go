@@ -82,12 +82,18 @@ type AtomicityReport struct {
 	// occurred); TraceErr reports a failed capture attempt.
 	TracePath string
 	TraceErr  error
+	// Known reports that the confirmed violation's signature was already in
+	// the campaign's corpus (see PairReport.Known).
+	Known bool
 }
 
 func (a AtomicityReport) String() string {
 	verdict := "NOT CONFIRMED"
 	if a.IsReal {
 		verdict = "REAL VIOLATION"
+		if a.Known {
+			verdict += " [known]"
+		}
 	}
 	return fmt.Sprintf("block %s..%s: %s, p=%.2f (%d/%d runs, %d threw)",
 		a.Target.First, a.Target.Second, verdict, a.Probability, a.ViolationRuns, a.Trials, a.ExceptionRuns)
@@ -143,15 +149,30 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 	rep, o := &a.rep, a.o
 	seed := pairSeed(o.Seed, a.targetIndex+9_000_000, i)
 	tracePath := ""
+	finding := ""
 	if len(r.violations) > 0 {
 		rep.ViolationRuns++
+		if o.Corpus != nil {
+			branch := "clean"
+			if len(r.res.Exceptions) > 0 {
+				branch = "threw"
+			}
+			o.Corpus.Observe(atomicitySignature(rep.Target), branch)
+		}
 		if rep.FirstTrial < 0 {
 			rep.FirstTrial = i
 			rep.FirstSeed = seed
-			if o.TraceDir != "" {
+			sig := atomicitySignature(rep.Target)
+			pairStr := fmt.Sprintf("(%s, %s)", rep.Target.First, rep.Target.Second)
+			finding = o.reportFinding(sig, pairStr, a.targetIndex, i, seed, runExceptionKinds(r.res))
+			rep.Known = finding == "known"
+			if o.wantWitness(finding) {
 				_, _, witness := RecordAtomicityRun(a.prog, rep.Target, seed, o)
 				tracePath, rep.TraceErr = capture(witness, o.witnessPath("atomicity", a.targetIndex, i))
 				rep.TracePath = tracePath
+				if tracePath != "" {
+					o.Corpus.AttachWitness(sig, tracePath)
+				}
 			}
 		}
 		if len(r.res.Exceptions) > 0 {
@@ -167,6 +188,7 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 			rec.StepsToRace = r.violations[0].Step
 		}
 		rec.Trace = tracePath
+		rec.Finding = finding
 		o.emit(rec)
 	}
 }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/deadlock"
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/sched"
+)
+
+// Corpus glue: how the three pipelines turn a confirmed target into a
+// canonical corpus signature and a replayable finding. Signatures are built
+// from *statement labels* (file:line), never from dynamic identities
+// (LockID, MemLoc, ThreadID): labels are stable across executions, seeds
+// and processes, which is what lets a later campaign recognize the same
+// bug. Lock and thread identities, which are per-execution counters, stay
+// in the finding's rendered Pair string for human consumption and regress
+// target matching.
+
+// raceSignature is the canonical identity of a confirmed race on a
+// statement pair.
+func raceSignature(pair event.StmtPair) corpus.Signature {
+	return corpus.MakeSignature("race", pair.A.Name(), pair.B.Name(), "race")
+}
+
+// deadlockSignature is the canonical identity of a confirmed deadlock: the
+// sorted acquisition-statement labels of the lock cycle.
+func deadlockSignature(c deadlock.Cycle) corpus.Signature {
+	names := make([]string, 0, len(c.Stmts))
+	seen := make(map[string]bool, len(c.Stmts))
+	for _, s := range c.Stmts {
+		n := s.Name()
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	a, b := locPair(names)
+	return corpus.MakeSignature("deadlock", a, b, "deadlock")
+}
+
+// atomicitySignature is the canonical identity of a confirmed atomicity
+// violation: the block's boundary statements.
+func atomicitySignature(t AtomicityTarget) corpus.Signature {
+	return corpus.MakeSignature("atomicity", t.First.Name(), t.Second.Name(), "violation")
+}
+
+// locPair reduces a sorted label list to the signature's two location
+// slots: a cycle can involve more than two acquisition sites, so the tail
+// is folded into the second slot rather than dropped.
+func locPair(names []string) (a, b string) {
+	switch len(names) {
+	case 0:
+		return "", ""
+	case 1:
+		return names[0], names[0]
+	}
+	return names[0], strings.Join(names[1:], "+")
+}
+
+// reportFinding records a target's first confirming trial in the campaign
+// corpus and returns the dedup verdict for telemetry: "" (no corpus
+// attached), "new" or "known". Aggregators call it from the ordered merge
+// goroutine, so verdicts are bit-identical at any worker count.
+func (o Options) reportFinding(sig corpus.Signature, pairStr string, targetIndex, trial int, witnessSeed int64, exceptions []string) string {
+	if o.Corpus == nil {
+		return ""
+	}
+	isNew := o.Corpus.Report(corpus.Finding{
+		Sig:           sig,
+		Bench:         o.Label,
+		Pair:          pairStr,
+		TargetIndex:   targetIndex,
+		FirstSeenSeed: o.Seed,
+		Phase1Trials:  o.Phase1Trials,
+		MaxSteps:      o.MaxSteps,
+		WitnessSeed:   witnessSeed,
+		WitnessTrial:  trial,
+		Exceptions:    exceptions,
+	})
+	if isNew {
+		return "new"
+	}
+	return "known"
+}
+
+// wantWitness reports whether the target's confirming run should be
+// archived: capture must be enabled, and with a corpus attached only new
+// signatures record witnesses — the known ones already have a regression
+// baseline on disk (the ISSUE's "traces.captured counts new signatures
+// only" rule).
+func (o Options) wantWitness(finding string) bool {
+	return o.TraceDir != "" && finding != "known"
+}
+
+// raceBranch names the resolution branch of a created race — the §3 coin
+// flip — for the interleaving-coverage map.
+func raceBranch(r RealRace) string {
+	if r.CandidateFirst {
+		return "candidate-first"
+	}
+	return "postponed-first"
+}
+
+// runExceptionKinds reduces a result's exceptions to their distinct kinds,
+// in order of first occurrence.
+func runExceptionKinds(res *sched.Result) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, ex := range res.Exceptions {
+		k := exceptionKind(ex)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/corpus"
+)
+
+// campaignInto runs all three pipelines over their standard test programs
+// with every confirmation reported into store, and returns the counts.
+func campaignInto(store *corpus.Store, workers int) (newSigs, knownSigs int64) {
+	o := Options{Seed: 42, Phase1Trials: 3, Phase2Trials: 10, Workers: workers, Corpus: store}
+	Analyze(bench.Figure1(), o)
+	AnalyzeDeadlocks(abbaProgram(), o)
+	AnalyzeAtomicity(lostUpdateProgram(nil), o)
+	return store.Counts()
+}
+
+// Back-to-back campaigns sharing one store: the second run must rediscover
+// only known signatures — the 100% dedup acceptance criterion.
+func TestSecondCampaignIsFullyDeduplicated(t *testing.T) {
+	store := corpus.NewStore()
+	newSigs, knownSigs := campaignInto(store, 0)
+	if newSigs == 0 {
+		t.Fatal("first campaign reported no findings")
+	}
+	if knownSigs != 0 {
+		t.Fatalf("first campaign on empty store marked %d findings known", knownSigs)
+	}
+	firstLen := store.Len()
+
+	new2, known2 := campaignInto(store, 0)
+	if new2 != newSigs {
+		t.Fatalf("second campaign added signatures: new %d -> %d", newSigs, new2)
+	}
+	if known2 == 0 {
+		t.Fatal("second campaign deduplicated nothing")
+	}
+	if store.Len() != firstLen {
+		t.Fatalf("corpus grew on rerun: %d -> %d findings", firstLen, store.Len())
+	}
+	// Every finding was re-sighted: hits incremented across the board.
+	for _, f := range store.Findings() {
+		if f.Hits < 2 {
+			t.Fatalf("finding %s has %d hits after two campaigns", f.Sig.Canon(), f.Hits)
+		}
+	}
+}
+
+// The corpus is populated from the pipelines' ordered merge goroutine, so
+// its contents must be bit-identical at any worker-pool width.
+func TestCorpusDeterministicAcrossWorkers(t *testing.T) {
+	type snapshot struct {
+		findings []corpus.Finding
+		coverage []corpus.CoverageCell
+	}
+	var base *snapshot
+	for _, workers := range []int{0, 1, 4, 8} {
+		store := corpus.NewStore()
+		campaignInto(store, workers)
+		snap := &snapshot{findings: store.Findings(), coverage: store.Coverage()}
+		if base == nil {
+			base = snap
+			if len(base.findings) == 0 || len(base.coverage) == 0 {
+				t.Fatalf("baseline campaign empty: %d findings, %d cells",
+					len(base.findings), len(base.coverage))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(snap.findings, base.findings) {
+			t.Fatalf("workers=%d: findings diverge from sequential baseline\n got: %+v\nwant: %+v",
+				workers, snap.findings, base.findings)
+		}
+		if !reflect.DeepEqual(snap.coverage, base.coverage) {
+			t.Fatalf("workers=%d: coverage diverges from sequential baseline\n got: %+v\nwant: %+v",
+				workers, snap.coverage, base.coverage)
+		}
+	}
+}
+
+// Reports landing from several goroutines at once must stay race-free and
+// converge to one finding (exercised under -race in CI).
+func TestCorpusSharedAcrossConcurrentPipelines(t *testing.T) {
+	store := corpus.NewStore()
+	done := make(chan struct{}, 2)
+	for g := 0; g < 2; g++ {
+		go func(seed int64) {
+			Analyze(bench.Figure1(), Options{
+				Seed: seed, Phase1Trials: 3, Phase2Trials: 10, Workers: 4, Corpus: store,
+			})
+			done <- struct{}{}
+		}(int64(g) * 1000)
+	}
+	<-done
+	<-done
+	if store.Len() == 0 {
+		t.Fatal("no findings reported")
+	}
+	for _, f := range store.Findings() {
+		if f.Hits < 1 {
+			t.Fatalf("finding %s has zero hits", f.Sig.Canon())
+		}
+	}
+}

@@ -105,12 +105,18 @@ type DeadlockReport struct {
 	// occurred); TraceErr reports a failed capture attempt.
 	TracePath string
 	TraceErr  error
+	// Known reports that the confirmed deadlock's signature was already in
+	// the campaign's corpus (see PairReport.Known).
+	Known bool
 }
 
 func (d DeadlockReport) String() string {
 	verdict := "NOT CONFIRMED"
 	if d.IsReal {
 		verdict = "REAL DEADLOCK"
+		if d.Known {
+			verdict += " [known]"
+		}
 	}
 	return fmt.Sprintf("locks %s/%s: %s, p=%.2f (%d/%d runs)",
 		d.Cycle.Locks[0], d.Cycle.Locks[1], verdict, d.Probability, d.DeadlockRuns, d.Trials)
@@ -163,15 +169,26 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 	seed := pairSeed(o.Seed, a.cycleIndex+7_000_000, i)
 	hit := res.Deadlock != nil && deadlockInvolves(res.Deadlock, a.target)
 	tracePath := ""
+	finding := ""
 	if hit {
 		rep.DeadlockRuns++
+		if o.Corpus != nil {
+			o.Corpus.Observe(deadlockSignature(rep.Cycle), "deadlock")
+		}
 		if rep.FirstTrial < 0 {
 			rep.FirstTrial = i
 			rep.FirstSeed = seed
-			if o.TraceDir != "" {
+			sig := deadlockSignature(rep.Cycle)
+			pairStr := fmt.Sprintf("(%s, %s)", rep.Cycle.Locks[0], rep.Cycle.Locks[1])
+			finding = o.reportFinding(sig, pairStr, a.cycleIndex, i, seed, runExceptionKinds(res))
+			rep.Known = finding == "known"
+			if o.wantWitness(finding) {
 				_, witness := RecordDeadlockRun(a.prog, a.target, seed, o)
 				tracePath, rep.TraceErr = capture(witness, o.witnessPath("deadlock", a.cycleIndex, i))
 				rep.TracePath = tracePath
+				if tracePath != "" {
+					o.Corpus.AttachWitness(sig, tracePath)
+				}
 			}
 		}
 	}
@@ -184,6 +201,7 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 			rec.StepsToRace = res.Deadlock.Step
 		}
 		rec.Trace = tracePath
+		rec.Finding = finding
 		o.emit(rec)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/event"
 	"racefuzzer/internal/hybrid"
 	"racefuzzer/internal/obs"
@@ -56,6 +57,16 @@ type Options struct {
 	// Sink, when non-nil, receives one structured record per execution —
 	// the JSONL run log and/or progress reporting.
 	Sink obs.Sink
+	// Corpus, when non-nil, deduplicates confirmed findings against the
+	// persistent race corpus (internal/corpus): each target's first
+	// confirming run is reported under its canonical signature and marked
+	// new or known on the report and the run record, witness auto-capture
+	// is skipped for known signatures (the corpus already holds their
+	// regression baseline), and every confirming trial feeds the
+	// (signature, resolution-branch) interleaving-coverage map. All corpus
+	// calls happen on the ordered merge goroutine, so verdicts are
+	// bit-identical at any Workers setting.
+	Corpus *corpus.Store
 }
 
 // observing reports whether per-run telemetry should be collected at all.
@@ -247,6 +258,10 @@ type PairReport struct {
 	// created); TraceErr reports a failed capture attempt.
 	TracePath string
 	TraceErr  error
+	// Known reports that the confirmed race's signature was already in the
+	// campaign's corpus (always false without Options.Corpus or when the
+	// pair was not confirmed). Known findings skip witness auto-capture.
+	Known bool
 }
 
 func (p PairReport) String() string {
@@ -255,6 +270,9 @@ func (p PairReport) String() string {
 		verdict = "REAL RACE"
 	}
 	s := fmt.Sprintf("%s: %s, p=%.2f (%d/%d runs)", p.Pair, verdict, p.Probability, p.RaceRuns, p.Trials)
+	if p.IsReal && p.Known {
+		s += " [known]"
+	}
 	if p.ExceptionRuns > 0 {
 		s += fmt.Sprintf(", %d runs threw (%s)", p.ExceptionRuns, strings.Join(p.ExceptionKinds, "; "))
 	}
@@ -315,17 +333,27 @@ func (a *pairAgg) add(i int, run *RunReport) {
 	rep.TotalSteps += int64(run.Result.Steps)
 	firstRaceStep := -1
 	tracePath := ""
+	finding := ""
 	if run.RaceCreated {
 		firstRaceStep = run.Races[0].Step
 		a.stepsToRace.Observe(float64(firstRaceStep))
 		rep.RaceRuns++
+		if o.Corpus != nil {
+			o.Corpus.Observe(raceSignature(rep.Pair), raceBranch(run.Races[0]))
+		}
 		if rep.FirstRaceTrial < 0 {
 			rep.FirstRaceTrial = i
 			rep.FirstRaceSeed = seed
-			if o.TraceDir != "" {
+			sig := raceSignature(rep.Pair)
+			finding = o.reportFinding(sig, rep.Pair.String(), a.pairIndex, i, seed, runExceptionKinds(run.Result))
+			rep.Known = finding == "known"
+			if o.wantWitness(finding) {
 				_, witness := RecordRace(a.prog, rep.Pair, seed, o)
 				tracePath, rep.TraceErr = capture(witness, o.witnessPath("race", a.pairIndex, i))
 				rep.TracePath = tracePath
+				if tracePath != "" {
+					o.Corpus.AttachWitness(sig, tracePath)
+				}
 			}
 		}
 		if len(run.Result.Exceptions) > 0 {
@@ -354,6 +382,7 @@ func (a *pairAgg) add(i int, run *RunReport) {
 		rec.Races = len(run.Races)
 		rec.StepsToRace = firstRaceStep
 		rec.Trace = tracePath
+		rec.Finding = finding
 		o.emit(rec)
 	}
 }

@@ -1,0 +1,129 @@
+package corpus
+
+// The adaptive budget allocator: split a global phase-2 trial budget across
+// registry targets, biasing toward targets that are still producing new
+// signatures and new coverage cells — a deterministic bandit. There is no
+// sampling: the weights are a pure function of the per-target discovery
+// state, so for a fixed master seed the whole campaign (allocation rounds
+// included) is bit-identical at any worker count.
+
+// TargetState is the allocator's view of one target between rounds.
+type TargetState struct {
+	// Name is the registry benchmark name.
+	Name string
+	// NewSignatures and NewCells are the target's discoveries in the
+	// previous round (0 on the first round, when nothing is known and the
+	// split is uniform).
+	NewSignatures int
+	NewCells      int
+	// DryRounds counts consecutive completed rounds with no new signature
+	// and no new coverage cell; a target with DryRounds >= PlateauRounds is
+	// plateaued and drops to the exploration floor.
+	DryRounds int
+}
+
+// PlateauRounds is the number of consecutive discovery-free rounds after
+// which a target counts as plateaued.
+const PlateauRounds = 2
+
+// Plateaued reports whether the target has gone dry.
+func (t TargetState) Plateaued() bool { return t.DryRounds >= PlateauRounds }
+
+// weight converts discovery state into an allocation weight. New signatures
+// dominate (a target still finding distinct bugs deserves the budget), new
+// coverage cells keep a target warm, and every non-plateaued target keeps
+// weight even when dry — one quiet round must not starve it. Plateaued
+// targets drop to a minimal exploration floor instead of zero, so a target
+// that develops new behaviour (new code, deeper schedules) can re-earn
+// budget.
+func (t TargetState) weight() int {
+	if t.Plateaued() {
+		return 1
+	}
+	return 4 + 8*t.NewSignatures + 2*t.NewCells
+}
+
+// Allocate splits total trials across targets proportionally to their
+// weights, deterministically: integer largest-remainder rounding with ties
+// broken by target order. len(result) == len(targets); the results sum to
+// total (0 <= total). Every target with positive weight gets at least one
+// trial when total >= len(targets), so no target is silently dropped.
+func Allocate(total int, targets []TargetState) []int {
+	n := len(targets)
+	out := make([]int, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	weights := make([]int, n)
+	sum := 0
+	for i, t := range targets {
+		w := t.weight()
+		if w < 1 {
+			w = 1
+		}
+		weights[i] = w
+		sum += w
+	}
+	type rem struct {
+		idx  int
+		frac int // remainder numerator (denominator sum), for sorting
+	}
+	assigned := 0
+	rems := make([]rem, n)
+	for i, w := range weights {
+		share := total * w
+		out[i] = share / sum
+		rems[i] = rem{idx: i, frac: share % sum}
+		assigned += out[i]
+	}
+	// Distribute the leftover trials to the largest remainders; ties go to
+	// the earlier target — a total order, so the result is deterministic.
+	left := total - assigned
+	for k := 0; k < left; k++ {
+		best := -1
+		for i := range rems {
+			if rems[i].frac < 0 {
+				continue
+			}
+			if best < 0 || rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -1
+	}
+	// Guarantee a minimum of one trial per target while the budget covers
+	// it: steal from the richest targets (ties to the later one, so earlier
+	// allocations are disturbed least).
+	if total >= n {
+		for i := range out {
+			for out[i] == 0 {
+				rich := 0
+				for j := 1; j < n; j++ {
+					if out[j] >= out[rich] {
+						rich = j
+					}
+				}
+				if out[rich] <= 1 {
+					break
+				}
+				out[rich]--
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// Advance folds one round's outcome into the target's state: its discovery
+// counts are replaced and the dry-round counter updated.
+func (t TargetState) Advance(newSigs, newCells int) TargetState {
+	t.NewSignatures = newSigs
+	t.NewCells = newCells
+	if newSigs == 0 && newCells == 0 {
+		t.DryRounds++
+	} else {
+		t.DryRounds = 0
+	}
+	return t
+}

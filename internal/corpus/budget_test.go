@@ -1,0 +1,81 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sumInts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+func TestAllocateConservesBudgetAndIsDeterministic(t *testing.T) {
+	targets := []TargetState{
+		{Name: "a", NewSignatures: 3},
+		{Name: "b", NewSignatures: 0, NewCells: 2},
+		{Name: "c", DryRounds: PlateauRounds},
+		{Name: "d"},
+	}
+	for _, total := range []int{0, 1, 4, 7, 100, 101, 999} {
+		first := Allocate(total, targets)
+		if got := sumInts(first); got != total {
+			t.Fatalf("total %d: allocation sums to %d: %v", total, got, first)
+		}
+		for i := 0; i < 5; i++ {
+			if again := Allocate(total, targets); !reflect.DeepEqual(again, first) {
+				t.Fatalf("total %d: allocation not deterministic: %v vs %v", total, again, first)
+			}
+		}
+	}
+}
+
+func TestAllocateBiasesTowardDiscovery(t *testing.T) {
+	targets := []TargetState{
+		{Name: "hot", NewSignatures: 5},
+		{Name: "cold"},
+		{Name: "flat", DryRounds: PlateauRounds},
+	}
+	got := Allocate(100, targets)
+	if got[0] <= got[1] || got[1] <= got[2] {
+		t.Fatalf("allocation %v not ordered hot > cold > plateaued", got)
+	}
+	if got[2] == 0 {
+		t.Fatalf("plateaued target starved entirely: %v (exploration floor expected)", got)
+	}
+}
+
+func TestAllocateMinimumOneTrialPerTarget(t *testing.T) {
+	targets := []TargetState{
+		{Name: "hot", NewSignatures: 100},
+		{Name: "a"}, {Name: "b"}, {Name: "c"},
+	}
+	got := Allocate(4, targets)
+	if sumInts(got) != 4 {
+		t.Fatalf("allocation %v does not sum to 4", got)
+	}
+	for i, n := range got {
+		if n == 0 {
+			t.Fatalf("target %d starved with budget >= #targets: %v", i, got)
+		}
+	}
+}
+
+func TestAdvanceTracksPlateau(t *testing.T) {
+	s := TargetState{Name: "x"}
+	s = s.Advance(0, 0)
+	if s.Plateaued() {
+		t.Fatalf("plateaued after one dry round: %+v", s)
+	}
+	s = s.Advance(0, 0)
+	if !s.Plateaued() {
+		t.Fatalf("not plateaued after %d dry rounds: %+v", PlateauRounds, s)
+	}
+	s = s.Advance(1, 0)
+	if s.Plateaued() || s.DryRounds != 0 {
+		t.Fatalf("discovery did not reset plateau: %+v", s)
+	}
+}

@@ -1,0 +1,219 @@
+package corpus
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sig(kind, a, b, outcome string) Signature { return MakeSignature(kind, a, b, outcome) }
+
+func TestSignatureNormalization(t *testing.T) {
+	a := sig("race", "f.go:10", "f.go:3", "race")
+	b := sig("race", "f.go:3", "f.go:10", "race")
+	if a != b {
+		t.Fatalf("signature not order-normalized: %v vs %v", a, b)
+	}
+	if a.LocA != "f.go:10" || a.LocB != "f.go:3" {
+		t.Fatalf("unexpected sort order: %+v (lexicographic expected)", a)
+	}
+	if got, want := a.Canon(), "race|f.go:10|f.go:3|race"; got != want {
+		t.Fatalf("Canon() = %q, want %q", got, want)
+	}
+}
+
+func TestReportDedupAndHits(t *testing.T) {
+	s := NewStore()
+	f := Finding{Sig: sig("race", "a", "b", "race"), Bench: "figure1", FirstSeenSeed: 1, Exceptions: []string{"BOOM"}}
+	if !s.Report(f) {
+		t.Fatal("first report not new")
+	}
+	f2 := f
+	f2.FirstSeenSeed = 99
+	f2.Exceptions = []string{"BANG"}
+	if s.Report(f2) {
+		t.Fatal("second report of same signature reported new")
+	}
+	fs := s.Findings()
+	if len(fs) != 1 {
+		t.Fatalf("len(Findings) = %d, want 1", len(fs))
+	}
+	got := fs[0]
+	if got.Hits != 2 || got.FirstSeenSeed != 1 || got.LastSeenSeed != 99 {
+		t.Fatalf("merged finding = %+v", got)
+	}
+	if !reflect.DeepEqual(got.Exceptions, []string{"BANG", "BOOM"}) {
+		t.Fatalf("exceptions not merged sorted: %v", got.Exceptions)
+	}
+	if n, k := s.Counts(); n != 1 || k != 1 {
+		t.Fatalf("Counts = (%d, %d), want (1, 1)", n, k)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Report(Finding{Sig: sig("race", "a", "b", "race"), Bench: "figure1", FirstSeenSeed: 7, WitnessSeed: 12, Phase1Trials: 3})
+	s.Report(Finding{Sig: sig("deadlock", "c", "d", "deadlock"), Bench: "dl", FirstSeenSeed: 7, WitnessSeed: 44})
+	s.Observe(sig("race", "a", "b", "race"), "candidate-first")
+	s.Observe(sig("race", "a", "b", "race"), "postponed-first")
+	s.Observe(sig("race", "a", "b", "race"), "candidate-first")
+	s.AttachWitness(sig("race", "a", "b", "race"), filepath.Join(dir, "witnesses", "w.trace.jsonl"))
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated() {
+		t.Fatal("clean save reported truncated")
+	}
+	if !reflect.DeepEqual(r.Findings(), s.Findings()) {
+		t.Fatalf("findings did not roundtrip:\n got %+v\nwant %+v", r.Findings(), s.Findings())
+	}
+	if !reflect.DeepEqual(r.Coverage(), s.Coverage()) {
+		t.Fatalf("coverage did not roundtrip:\n got %+v\nwant %+v", r.Coverage(), s.Coverage())
+	}
+	// The witness path is stored relative to the corpus dir (relocatable)
+	// and resolved back on demand.
+	f := r.Findings()[0]
+	if f.WitnessTrace != filepath.Join(WitnessSubdir, "w.trace.jsonl") {
+		t.Fatalf("witness not stored relative: %q", f.WitnessTrace)
+	}
+	if got, want := r.WitnessPath(f), filepath.Join(dir, WitnessSubdir, "w.trace.jsonl"); got != want {
+		t.Fatalf("WitnessPath = %q, want %q", got, want)
+	}
+	// A re-reported known signature keeps its witness baseline.
+	if r.Report(Finding{Sig: sig("race", "a", "b", "race"), FirstSeenSeed: 1000}) {
+		t.Fatal("loaded signature reported new")
+	}
+	if n, k := r.Counts(); n != 0 || k != 1 {
+		t.Fatalf("after reload Counts = (%d, %d), want (0, 1)", n, k)
+	}
+}
+
+func TestLoadSkipsTruncatedFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Report(Finding{Sig: sig("race", "a", "b", "race"), Bench: "x", FirstSeenSeed: 1})
+	s.Report(Finding{Sig: sig("race", "c", "d", "race"), Bench: "x", FirstSeenSeed: 1})
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: cut the final record in half.
+	path := filepath.Join(dir, findingsFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := b[:len(b)-len(b)/4]
+	if cut[len(cut)-1] == '\n' {
+		cut = cut[:len(cut)-1]
+	}
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("truncated corpus failed to load: %v", err)
+	}
+	if !r.Truncated() {
+		t.Fatal("truncated load not flagged")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after truncation, want 1 (partial record skipped)", r.Len())
+	}
+
+	// A corrupt line mid-file is NOT a crash footprint and must still fail.
+	lines := []string{`{"sig":{"kind":"race","locA":"a","locB":"b","outcome":"race"},"hits":1}`, "{corrupt", `{"sig":{"kind":"race","locA":"c","locB":"d","outcome":"race"},"hits":1}`}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("mid-file corruption loaded without error")
+	}
+}
+
+func TestOpenRejectsNewerVersion(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := json.Marshal(manifest{V: FormatVersion + 1})
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), m, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "unsupported format version") {
+		t.Fatalf("newer-version corpus: err = %v, want unsupported-version error", err)
+	}
+}
+
+// TestConcurrentReportSameSignature is the -race check: parallel workers
+// reporting the same signature must be race-free, and exactly one of them
+// must see it as new.
+func TestConcurrentReportSameSignature(t *testing.T) {
+	s := NewStore()
+	const workers = 8
+	const perWorker = 200
+	newCount := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if s.Report(Finding{Sig: sig("race", "a", "b", "race"), Bench: "x", FirstSeenSeed: int64(i)}) {
+					newCount[w]++
+				}
+				s.Observe(sig("race", "a", "b", "race"), "candidate-first")
+				s.Known(sig("race", "a", "b", "race"))
+				s.Findings()
+				s.Coverage()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range newCount {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("%d workers saw the signature as new, want exactly 1", total)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	fs := s.Findings()
+	if fs[0].Hits != workers*perWorker {
+		t.Fatalf("Hits = %d, want %d", fs[0].Hits, workers*perWorker)
+	}
+	cov := s.Coverage()
+	if len(cov) != 1 || cov[0].Hits != workers*perWorker {
+		t.Fatalf("coverage = %+v, want one cell with %d hits", cov, workers*perWorker)
+	}
+}
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var s *Store
+	if !s.Report(Finding{Sig: sig("race", "a", "b", "race")}) {
+		t.Fatal("nil store Report should report new (no dedup)")
+	}
+	s.AttachWitness(sig("race", "a", "b", "race"), "p")
+	s.Observe(sig("race", "a", "b", "race"), "x")
+	if s.Known(sig("race", "a", "b", "race")) || s.Len() != 0 || s.CoverageLen() != 0 {
+		t.Fatal("nil store should be empty")
+	}
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+}

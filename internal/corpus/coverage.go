@@ -1,0 +1,69 @@
+package corpus
+
+// Interleaving-coverage feedback: each confirmed outcome of a directed run
+// is one cell — (finding signature, resolution branch). For races the
+// branch is the random resolution order ("candidate-first" /
+// "postponed-first", §3's coin flip); deadlocks have a single branch;
+// atomicity violations are keyed by the interfering statement. A target
+// whose campaigns stop producing new cells (and new signatures) has
+// plateaued: its schedules keep re-creating outcomes the corpus has
+// already seen, which is the adaptive allocator's signal to shift budget
+// elsewhere ("Fuzzing at Scale"-style).
+
+// CoverageCell is one (signature, branch) outcome with its hit count.
+type CoverageCell struct {
+	Sig    Signature `json:"sig"`
+	Branch string    `json:"branch"`
+	Hits   int64     `json:"hits"`
+}
+
+// key identifies the cell.
+func (c CoverageCell) key() string { return c.Sig.Canon() + "|" + c.Branch }
+
+// Coverage is the in-memory cell map. It is not self-locking — the Store
+// guards it.
+type Coverage struct {
+	byKey map[string]*CoverageCell
+	order []string
+}
+
+// NewCoverage returns an empty map.
+func NewCoverage() *Coverage {
+	return &Coverage{byKey: make(map[string]*CoverageCell)}
+}
+
+// observe folds one outcome in; reports whether the cell is new.
+func (c *Coverage) observe(sig Signature, branch string) bool {
+	cell := CoverageCell{Sig: sig, Branch: branch}
+	k := cell.key()
+	if old, ok := c.byKey[k]; ok {
+		old.Hits++
+		return false
+	}
+	cell.Hits = 1
+	c.byKey[k] = &cell
+	c.order = append(c.order, k)
+	return true
+}
+
+// load seeds the map from persisted cells (first occurrence wins).
+func (c *Coverage) load(cells []CoverageCell) {
+	for i := range cells {
+		cell := cells[i]
+		k := cell.key()
+		if _, ok := c.byKey[k]; ok {
+			continue
+		}
+		c.byKey[k] = &cell
+		c.order = append(c.order, k)
+	}
+}
+
+// cells snapshots the map in first-observation order.
+func (c *Coverage) cells() []CoverageCell {
+	out := make([]CoverageCell, 0, len(c.order))
+	for _, k := range c.order {
+		out = append(out, *c.byKey[k])
+	}
+	return out
+}

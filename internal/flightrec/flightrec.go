@@ -114,6 +114,10 @@ func (r Record) Step() int {
 type Recording struct {
 	Header  Header
 	Records []Record
+	// Truncated reports that Load hit a partial final line — the footprint
+	// of a crash mid-write — and skipped it. The records before it are
+	// intact and usable; Save never sets this.
+	Truncated bool
 }
 
 // Summary returns the recording's end summary (zero value when the

@@ -151,3 +151,49 @@ func TestFlightRecordingSharesTraceVersion(t *testing.T) {
 		t.Fatalf("recording version %d, trace version %d", rec.Header.V, trace.FormatVersion)
 	}
 }
+
+func TestLoadSkipsTruncatedFinalLine(t *testing.T) {
+	rec := record(t, 11)
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+
+	// Cut the serialized recording mid-way through its final line — the
+	// footprint of a crash during the last write.
+	cut := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
+	torn := full[:cut+10]
+
+	loaded, err := Load(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn final line should load: %v", err)
+	}
+	if !loaded.Truncated {
+		t.Fatal("Truncated flag not set on torn recording")
+	}
+	if want := len(rec.Records) - 1; len(loaded.Records) != want {
+		t.Fatalf("loaded %d records, want the %d intact ones", len(loaded.Records), want)
+	}
+	for i, r := range loaded.Records {
+		if r.String() != rec.Records[i].String() {
+			t.Fatalf("record %d differs after truncated load", i)
+		}
+	}
+
+	// An intact recording must not be flagged.
+	whole, err := Load(strings.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Truncated {
+		t.Fatal("intact recording flagged as truncated")
+	}
+
+	// Corruption that is not a torn tail (garbage mid-stream) still fails.
+	lines := strings.Split(strings.TrimRight(full, "\n"), "\n")
+	lines[1] = "{not json"
+	if _, err := Load(strings.NewReader(strings.Join(lines, "\n") + "\n")); err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}

@@ -3,6 +3,7 @@ package flightrec
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -110,7 +111,10 @@ func (rec *Recording) SaveFile(path string) error {
 
 // Load reads a recording written by Save. An unsupported format version is
 // reported gracefully; unknown record kinds within a supported version are
-// an error (they would silently corrupt divergence checking).
+// an error (they would silently corrupt divergence checking). A partial
+// FINAL line — the footprint of a crash mid-write — is skipped and flagged
+// via Recording.Truncated rather than failing the whole load: every record
+// before it was written and synced whole, so the prefix is trustworthy.
 func Load(r io.Reader) (*Recording, error) {
 	dec := json.NewDecoder(r)
 	var h Header
@@ -128,6 +132,11 @@ func Load(r io.Reader) (*Recording, error) {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
 			if err == io.EOF {
+				return rec, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// The stream ended inside a JSON value: a torn final line.
+				rec.Truncated = true
 				return rec, nil
 			}
 			return nil, fmt.Errorf("flightrec: load: line %d: %w", i+1, err)

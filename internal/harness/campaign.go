@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/core"
+	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/obs"
+	"racefuzzer/internal/report"
+)
+
+// The adaptive budget campaign: instead of giving every registry target the
+// same Phase2Trials, split one global trial budget across targets over
+// several allocation rounds, reweighting between rounds toward targets that
+// are still producing new corpus signatures and new interleaving-coverage
+// cells ("Fuzzing at Scale"-style). The allocator (corpus.Allocate) is a
+// deterministic bandit — weights are a pure function of per-target
+// discovery state, rounds use seeds derived from the master seed, and every
+// per-target pipeline is the standard deterministic one — so the whole
+// campaign is bit-identical at any Workers width.
+
+// CampaignOptions parameterizes RunAdaptiveCampaign.
+type CampaignOptions struct {
+	// Seed is the master seed; round r of a target uses a derived stream,
+	// so successive rounds explore fresh schedules yet stay reproducible.
+	Seed int64
+	// Budget is the global phase-2 trial budget spread across all targets
+	// and rounds (phase-1 observations ride on top, they are not charged).
+	// Default 1000.
+	Budget int
+	// Rounds is the number of allocation rounds. Default 3.
+	Rounds int
+	// Workers is the per-pipeline trial executor width (core.Options.Workers).
+	Workers int
+	// Corpus receives every confirmed finding and coverage cell and drives
+	// the reallocation; nil runs with a fresh in-memory store (adaptive
+	// within this campaign, nothing persisted).
+	Corpus *corpus.Store
+	// TraceDir enables witness auto-capture for new signatures.
+	TraceDir string
+	// Metrics and Sink observe every pipeline execution, as in Options.
+	Metrics *obs.CampaignMetrics
+	Sink    obs.Sink
+}
+
+func (o CampaignOptions) withDefaults() CampaignOptions {
+	if o.Budget <= 0 {
+		o.Budget = 1000
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	return o
+}
+
+// roundSeed derives the base seed of one allocation round.
+func roundSeed(master int64, round int) int64 {
+	return master + int64(round)*1_000_000_007
+}
+
+// CampaignRow is the adaptive campaign's outcome for one target.
+type CampaignRow struct {
+	Name string
+	// AllocByRound is the trial budget granted in each round.
+	AllocByRound []int
+	// Trials is the total phase-2 trials actually run (== sum of rounds,
+	// except when a round's phase 1 found no targets to spend on).
+	Trials int
+	// Potential is the number of phase-1 warnings in the final round run.
+	Potential int
+	// NewSignatures and NewCells are the distinct corpus signatures and
+	// coverage cells this campaign added for the target.
+	NewSignatures int
+	NewCells      int
+	// KnownSightings counts confirmations deduplicated against pre-existing
+	// corpus entries.
+	KnownSightings int
+	// Plateaued reports the allocator's final verdict: the target went
+	// PlateauRounds consecutive rounds without a new signature or cell.
+	Plateaued bool
+}
+
+// RunAdaptiveCampaign runs the race pipeline over the named registry
+// benchmarks ("" or empty = all) under a global trial budget.
+func RunAdaptiveCampaign(names []string, o CampaignOptions) []CampaignRow {
+	o = o.withDefaults()
+	if len(names) == 0 {
+		names = bench.Names()
+	}
+	store := o.Corpus
+	if store == nil {
+		store = corpus.NewStore()
+	}
+	rows := make([]CampaignRow, len(names))
+	states := make([]corpus.TargetState, len(names))
+	benches := make([]bench.Benchmark, len(names))
+	for i, n := range names {
+		benches[i] = bench.MustByName(n)
+		states[i] = corpus.TargetState{Name: n}
+		rows[i] = CampaignRow{Name: n}
+	}
+	// Split the global budget over rounds as evenly as possible (earlier
+	// rounds absorb the remainder), then across targets by discovery weight.
+	for r := 0; r < o.Rounds; r++ {
+		roundBudget := o.Budget / o.Rounds
+		if r < o.Budget%o.Rounds {
+			roundBudget++
+		}
+		alloc := corpus.Allocate(roundBudget, states)
+		for i := range names {
+			rows[i].AllocByRound = append(rows[i].AllocByRound, alloc[i])
+			if alloc[i] == 0 {
+				states[i] = states[i].Advance(0, 0)
+				continue
+			}
+			sigsBefore := store.BenchSignatures(names[i])
+			cellsBefore := store.CoverageLen()
+			_, knownBefore := store.Counts()
+			row := runBudgetedTarget(benches[i], alloc[i], roundSeed(o.Seed, r), store, o)
+			rows[i].Trials += row.trials
+			rows[i].Potential = row.potential
+			dSigs := store.BenchSignatures(names[i]) - sigsBefore
+			dCells := store.CoverageLen() - cellsBefore
+			_, knownAfter := store.Counts()
+			rows[i].NewSignatures += dSigs
+			rows[i].NewCells += dCells
+			rows[i].KnownSightings += int(knownAfter - knownBefore)
+			states[i] = states[i].Advance(dSigs, dCells)
+		}
+	}
+	for i := range rows {
+		rows[i].Plateaued = states[i].Plateaued()
+	}
+	return rows
+}
+
+// targetRound is one target's spend inside one allocation round.
+type targetRound struct {
+	trials    int
+	potential int
+}
+
+// runBudgetedTarget runs phase 1 and then spreads `trials` phase-2 runs
+// across the reported pairs (earlier pairs absorb the remainder; pairs past
+// the budget are skipped this round — a later round's fresh seed revisits
+// them).
+func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, store *corpus.Store, o CampaignOptions) targetRound {
+	opts := core.Options{
+		Seed:         seed,
+		Phase1Trials: b.Phase1Trials,
+		MaxSteps:     b.MaxSteps,
+		Workers:      o.Workers,
+		Label:        b.Name,
+		TraceDir:     o.TraceDir,
+		Metrics:      o.Metrics,
+		Sink:         o.Sink,
+		Corpus:       store,
+	}
+	if opts.Phase1Trials <= 0 {
+		opts.Phase1Trials = 3
+	}
+	pairs := core.DetectPotentialRaces(b.New(), opts)
+	out := targetRound{potential: len(pairs)}
+	if len(pairs) == 0 {
+		return out
+	}
+	per, extra := trials/len(pairs), trials%len(pairs)
+	for j, pair := range pairs {
+		t := per
+		if j < extra {
+			t++
+		}
+		if t == 0 {
+			continue
+		}
+		po := opts
+		po.Phase2Trials = t
+		core.FuzzPair(b.New(), pair, j, po)
+		out.trials += t
+	}
+	return out
+}
+
+// RenderCampaign renders the adaptive campaign outcome: the budget each
+// target earned round by round and what the corpus got back for it.
+func RenderCampaign(rows []CampaignRow) string {
+	t := report.NewTable(
+		"Adaptive budget campaign: trials earned vs new signatures discovered",
+		"Program", "Alloc/round", "Trials", "Potential", "NewSigs", "NewCells", "Known", "Plateaued",
+	)
+	for _, r := range rows {
+		alloc := ""
+		for i, a := range r.AllocByRound {
+			if i > 0 {
+				alloc += "/"
+			}
+			alloc += fmt.Sprintf("%d", a)
+		}
+		plateau := "no"
+		if r.Plateaued {
+			plateau = "yes"
+		}
+		t.AddRow(r.Name, alloc, r.Trials, r.Potential, r.NewSignatures, r.NewCells, r.KnownSightings, plateau)
+	}
+	return t.Render()
+}

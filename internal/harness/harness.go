@@ -12,6 +12,7 @@ import (
 
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/core"
+	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/hybrid"
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/report"
@@ -44,6 +45,9 @@ type Options struct {
 	// Sink, when non-nil, receives one structured record per pipeline
 	// execution (JSONL run logs, progress reporting).
 	Sink obs.Sink
+	// Corpus, when non-nil, receives every confirmed finding for dedup
+	// against prior campaigns (core.Options.Corpus).
+	Corpus *corpus.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +149,7 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 		TraceDir:     o.TraceDir,
 		Metrics:      perBench,
 		Workers:      o.Workers,
+		Corpus:       o.Corpus,
 	}
 	var sinks obs.MultiSink
 	if o.Metrics != nil {

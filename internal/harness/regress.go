@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/core"
+	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/flightrec"
+)
+
+// Regression from the corpus: every stored finding carries the campaign
+// configuration that discovered it (bench, phase-1 seed and trial count,
+// step bound) and the witness seed of its first confirming run, so a later
+// build can re-derive the same phase-1 target list, re-run the confirming
+// execution, and check three things:
+//
+//  1. the target is still reported by phase 1 (no silent signature churn);
+//  2. the witness seed still confirms the finding, and replaying it twice
+//     produces identical recordings (the Verify*Replay determinism check);
+//  3. when a witness trace was archived, the fresh recording is record-for-
+//     record identical to the stored one — any change to seed derivation,
+//     policy decisions or the event stream fails loudly with the first
+//     divergent record.
+
+// Regress statuses.
+const (
+	RegressOK            = "ok"
+	RegressDiverged      = "diverged"       // replay or stored-witness divergence
+	RegressNotReproduced = "not-reproduced" // witness seed no longer confirms
+	RegressTargetMissing = "target-missing" // phase 1 no longer reports the target
+	RegressBenchMissing  = "bench-missing"  // benchmark no longer registered
+	RegressWitnessError  = "witness-error"  // stored trace unreadable
+)
+
+// RegressResult is the verdict for one stored finding.
+type RegressResult struct {
+	Finding corpus.Finding
+	Status  string
+	// Detail elaborates failures (first divergent record, missing pair...).
+	Detail string
+}
+
+// OK reports a passing verdict.
+func (r RegressResult) OK() bool { return r.Status == RegressOK }
+
+func (r RegressResult) String() string {
+	s := fmt.Sprintf("%-14s %s %s", r.Status, r.Finding.Bench, r.Finding.Sig.Canon())
+	if r.Detail != "" {
+		s += ": " + r.Detail
+	}
+	return s
+}
+
+// regressKey identifies one phase-1 configuration; target lists are
+// re-derived once per distinct key, not once per finding.
+type regressKey struct {
+	bench    string
+	kind     string
+	seed     int64
+	p1, maxS int
+}
+
+// regressCtx caches re-derived phase-1 target lists across findings.
+type regressCtx struct {
+	store *corpus.Store
+	races map[regressKey][]event.StmtPair
+	dls   map[regressKey][]dlTarget
+	ats   map[regressKey][]core.AtomicityTarget
+}
+
+// dlTarget pairs a re-derived cycle's lock pair with its rendered form (the
+// form findings store in Finding.Pair).
+type dlTarget struct {
+	locks [2]event.LockID
+	str   string
+}
+
+// Regress replays every stored finding and returns the per-finding verdicts
+// plus an overall pass flag.
+func Regress(store *corpus.Store) ([]RegressResult, bool) {
+	ctx := &regressCtx{
+		store: store,
+		races: make(map[regressKey][]event.StmtPair),
+		dls:   make(map[regressKey][]dlTarget),
+		ats:   make(map[regressKey][]core.AtomicityTarget),
+	}
+	findings := store.Findings()
+	results := make([]RegressResult, 0, len(findings))
+	ok := true
+	for _, f := range findings {
+		res := ctx.one(f)
+		if !res.OK() {
+			ok = false
+		}
+		results = append(results, res)
+	}
+	return results, ok
+}
+
+func (ctx *regressCtx) one(f corpus.Finding) RegressResult {
+	out := RegressResult{Finding: f, Status: RegressOK}
+	b, found := bench.ByName(f.Bench)
+	if !found {
+		out.Status = RegressBenchMissing
+		out.Detail = fmt.Sprintf("benchmark %q not registered", f.Bench)
+		return out
+	}
+	opts := core.Options{
+		Seed:         f.FirstSeenSeed,
+		Phase1Trials: f.Phase1Trials,
+		MaxSteps:     f.MaxSteps,
+		Label:        f.Bench,
+	}
+	key := regressKey{f.Bench, f.Sig.Kind, f.FirstSeenSeed, f.Phase1Trials, f.MaxSteps}
+
+	var fresh *flightrec.Recording
+	switch f.Sig.Kind {
+	case "race":
+		pairs, cached := ctx.races[key]
+		if !cached {
+			pairs = core.DetectPotentialRaces(b.New(), opts)
+			ctx.races[key] = pairs
+		}
+		idx := -1
+		for i, p := range pairs {
+			if p.String() == f.Pair {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			out.Status = RegressTargetMissing
+			out.Detail = fmt.Sprintf("phase 1 no longer reports %s", f.Pair)
+			return out
+		}
+		run, rec := core.RecordRace(b.New(), pairs[idx], f.WitnessSeed, opts)
+		_, rec2 := core.RecordRace(b.New(), pairs[idx], f.WitnessSeed, opts)
+		if div := flightrec.Diverge(rec2, rec); div != nil {
+			out.Status = RegressDiverged
+			out.Detail = "replay nondeterministic: " + div.String()
+			return out
+		}
+		if !run.RaceCreated {
+			out.Status = RegressNotReproduced
+			out.Detail = fmt.Sprintf("seed %d no longer creates the race", f.WitnessSeed)
+			return out
+		}
+		fresh = rec
+	case "deadlock":
+		targets, cached := ctx.dls[key]
+		if !cached {
+			cycles := core.DetectPotentialDeadlocks(b.New(), opts)
+			targets = make([]dlTarget, len(cycles))
+			for i, c := range cycles {
+				targets[i] = dlTarget{
+					locks: [2]event.LockID{c.Locks[0], c.Locks[1]},
+					str:   fmt.Sprintf("(%s, %s)", c.Locks[0], c.Locks[1]),
+				}
+			}
+			ctx.dls[key] = targets
+		}
+		idx := -1
+		for i, t := range targets {
+			if t.str == f.Pair {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			out.Status = RegressTargetMissing
+			out.Detail = fmt.Sprintf("phase 1 no longer reports cycle %s", f.Pair)
+			return out
+		}
+		res, rec := core.RecordDeadlockRun(b.New(), targets[idx].locks, f.WitnessSeed, opts)
+		_, rec2 := core.RecordDeadlockRun(b.New(), targets[idx].locks, f.WitnessSeed, opts)
+		if div := flightrec.Diverge(rec2, rec); div != nil {
+			out.Status = RegressDiverged
+			out.Detail = "replay nondeterministic: " + div.String()
+			return out
+		}
+		if res.Deadlock == nil {
+			out.Status = RegressNotReproduced
+			out.Detail = fmt.Sprintf("seed %d no longer deadlocks", f.WitnessSeed)
+			return out
+		}
+		fresh = rec
+	case "atomicity":
+		targets, cached := ctx.ats[key]
+		if !cached {
+			targets = core.DetectAtomicityTargets(b.New(), opts)
+			ctx.ats[key] = targets
+		}
+		idx := -1
+		for i, tg := range targets {
+			if fmt.Sprintf("(%s, %s)", tg.First, tg.Second) == f.Pair {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			out.Status = RegressTargetMissing
+			out.Detail = fmt.Sprintf("phase 1 no longer infers block %s", f.Pair)
+			return out
+		}
+		_, violations, rec := core.RecordAtomicityRun(b.New(), targets[idx], f.WitnessSeed, opts)
+		_, _, rec2 := core.RecordAtomicityRun(b.New(), targets[idx], f.WitnessSeed, opts)
+		if div := flightrec.Diverge(rec2, rec); div != nil {
+			out.Status = RegressDiverged
+			out.Detail = "replay nondeterministic: " + div.String()
+			return out
+		}
+		if len(violations) == 0 {
+			out.Status = RegressNotReproduced
+			out.Detail = fmt.Sprintf("seed %d no longer violates the block", f.WitnessSeed)
+			return out
+		}
+		fresh = rec
+	default:
+		out.Status = RegressTargetMissing
+		out.Detail = fmt.Sprintf("unknown finding kind %q", f.Sig.Kind)
+		return out
+	}
+
+	// Strongest check: the fresh recording must match the archived witness
+	// record for record. A finding without a witness passes on the replay
+	// checks alone.
+	if wp := ctx.store.WitnessPath(f); wp != "" {
+		if _, err := os.Stat(wp); err != nil {
+			out.Status = RegressWitnessError
+			out.Detail = fmt.Sprintf("stored witness unreadable: %v", err)
+			return out
+		}
+		stored, err := flightrec.LoadFile(wp)
+		if err != nil {
+			out.Status = RegressWitnessError
+			out.Detail = fmt.Sprintf("stored witness unreadable: %v", err)
+			return out
+		}
+		if stored.Truncated {
+			// A torn final line lost the tail of the witness; verify the
+			// fresh recording against the intact prefix only.
+			out.Detail = "stored witness truncated (partial final record skipped)"
+			if len(fresh.Records) > len(stored.Records) {
+				trimmed := *fresh
+				trimmed.Records = fresh.Records[:len(stored.Records)]
+				fresh = &trimmed
+			}
+		}
+		if div := flightrec.Diverge(fresh, stored); div != nil {
+			out.Status = RegressDiverged
+			out.Detail = div.String()
+			return out
+		}
+	}
+	return out
+}

@@ -35,6 +35,9 @@ type CampaignMetrics struct {
 	firstRaceRun int64
 	// traceCaptures counts runs for which a flight recording was archived.
 	traceCaptures int64
+	// findingsNew and findingsKnown tally corpus dedup verdicts on
+	// confirming runs (zero for corpus-less campaigns).
+	findingsNew, findingsKnown int64
 
 	stepsToRace *Histogram
 	enabled     *Histogram
@@ -87,6 +90,12 @@ func (c *CampaignMetrics) Emit(rec RunRecord) {
 	}
 	if rec.Trace != "" {
 		c.traceCaptures++
+	}
+	switch rec.Finding {
+	case "new":
+		c.findingsNew++
+	case "known":
+		c.findingsKnown++
 	}
 	if rs := rec.Stats; rs != nil {
 		c.switches += int64(rs.Switches)
@@ -164,6 +173,8 @@ func (c *CampaignMetrics) Snapshot() Snapshot {
 		{Name: "policy.resumes", Value: c.resumes},
 		{Name: "policy.livelock_breaks", Value: c.livelockBreaks},
 		{Name: "traces.captured", Value: c.traceCaptures},
+		{Name: "findings.new", Value: c.findingsNew},
+		{Name: "findings.known", Value: c.findingsKnown},
 	}
 	for k := event.Kind(0); k < event.KindCount; k++ {
 		s.Counters = append(s.Counters, NamedCounter{Name: "events." + k.String(), Value: c.events[k]})
@@ -175,6 +186,10 @@ func (c *CampaignMetrics) Snapshot() Snapshot {
 	if c.runs > 0 {
 		s.Gauges = append(s.Gauges,
 			NamedGauge{Name: "race.hit_rate", Value: float64(c.raceRuns) / float64(c.runs)})
+	}
+	if sightings := c.findingsNew + c.findingsKnown; sightings > 0 {
+		s.Gauges = append(s.Gauges,
+			NamedGauge{Name: "findings.dedup_rate", Value: float64(c.findingsKnown) / float64(sightings)})
 	}
 	s.Histograms = []NamedHistogram{
 		{Name: "steps_to_race", Hist: c.stepsToRace.Snapshot()},

@@ -55,6 +55,10 @@ type RunRecord struct {
 	// Trace is the path of the flight recording auto-captured for this run
 	// (set on the first confirming run of a target when capture is enabled).
 	Trace string `json:"trace,omitempty"`
+	// Finding classifies a target's first confirming run against the race
+	// corpus: "new" (signature never seen before) or "known" (deduplicated
+	// re-sighting). Empty on non-confirming runs and corpus-less campaigns.
+	Finding string `json:"finding,omitempty"`
 
 	// Stats carries the full scheduler telemetry when metrics were attached.
 	// It rides along for in-process consumers (CampaignMetrics, Progress)
