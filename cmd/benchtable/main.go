@@ -16,13 +16,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/harness"
+	"racefuzzer/internal/observatory"
 )
 
 func main() {
@@ -41,8 +46,40 @@ func main() {
 		corpusDir = flag.String("corpusdir", "", "persist confirmed findings (dedup, coverage, witnesses) in this corpus directory")
 		budget    = flag.Int("budget", 0, "run the adaptive campaign instead of Table 1: split this global phase-2 trial budget across the benchmarks")
 		rounds    = flag.Int("rounds", 3, "with -budget: number of adaptive allocation rounds")
+		httpAddr  = flag.String("http", "", "serve the live campaign observatory (dashboard, /metrics, /events, /debug/sched) on this address, e.g. :8080")
 	)
 	flag.Parse()
+
+	// The observatory is nil unless -http was given; every accessor on a nil
+	// server returns nil, and nil probes no-op all the way down.
+	var obsv *observatory.Server
+	if *httpAddr != "" {
+		obsv = observatory.New(observatory.Config{Addr: *httpAddr, Label: "benchtable"})
+		if err := obsv.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: -http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchtable: observatory listening on http://%s\n", obsv.Addr())
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := obsv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: observatory shutdown: %v\n", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := obsv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: observatory shutdown: %v\n", err)
+			}
+		}()
+	}
 
 	var list []string
 	if *names != "" {
@@ -79,6 +116,8 @@ func main() {
 		rows := harness.RunAdaptiveCampaign(list, harness.CampaignOptions{
 			Seed: *seed, Budget: *budget, Rounds: *rounds, Workers: *workers,
 			Corpus: store, TraceDir: traceDir,
+			Metrics: obsv.Campaign(), Sink: obsv.Sink(),
+			Gauges: obsv.Registry(), Introspect: obsv.Introspector(),
 		})
 		fmt.Println(harness.RenderCampaign(rows))
 		saveCorpus()
@@ -89,6 +128,7 @@ func main() {
 		rows := harness.RunTable1(list, harness.Options{
 			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timing,
 			TraceDir: *trDir, Workers: *workers, Corpus: store,
+			Metrics: obsv.Campaign(), Sink: obsv.Sink(), Introspect: obsv.Introspector(),
 		})
 		if *csv {
 			fmt.Print(harness.CSVTable1(rows))

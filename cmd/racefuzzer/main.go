@@ -24,16 +24,22 @@
 //
 // Observability flags (see README "Observability"): -metrics prints a
 // campaign metrics table, -json writes one structured record per execution
-// (JSONL), -progress emits periodic campaign progress lines to stderr, and
-// -cpuprofile/-memprofile write pprof profiles of the campaign.
+// (JSONL, -jsonflush makes it tail-able), -progress emits periodic campaign
+// progress lines to stderr, and -cpuprofile/-memprofile write pprof
+// profiles of the campaign. -http serves the live campaign observatory (see
+// README "Live monitoring"): an embedded dashboard, Prometheus /metrics,
+// an SSE /events stream, and /debug/sched scheduler-state snapshots.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"racefuzzer/internal/bench"
@@ -42,6 +48,7 @@ import (
 	"racefuzzer/internal/flightrec"
 	"racefuzzer/internal/harness"
 	"racefuzzer/internal/obs"
+	"racefuzzer/internal/observatory"
 	"racefuzzer/internal/sched"
 	"racefuzzer/internal/trace"
 )
@@ -70,7 +77,9 @@ func main() {
 
 		metrics    = flag.Bool("metrics", false, "print the campaign metrics table after the run")
 		jsonLog    = flag.String("json", "", "write a structured JSONL run log to this file (one record per execution)")
+		jsonFlush  = flag.Int("jsonflush", 0, "with -json: flush the log every N records so tail -f sees them live (0 = flush only at close)")
 		progress   = flag.Bool("progress", false, "print periodic campaign progress lines to stderr")
+		httpAddr   = flag.String("http", "", "serve the live campaign observatory (dashboard, /metrics, /events, /debug/sched) on this address, e.g. :8080")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
 	)
@@ -215,12 +224,27 @@ func main() {
 		}()
 	}
 
-	// Assemble the observability chain: campaign metrics, JSONL log, progress.
+	// Assemble the observability chain: observatory, campaign metrics, JSONL
+	// log, progress. The observatory rides the same nil-safe probes as the
+	// rest — with -http unset every accessor below returns nil and the
+	// campaign runs the identical unobserved code path.
+	var obsv *observatory.Server
+	if *httpAddr != "" {
+		label := *name
+		if label == "" {
+			label = "campaign"
+		}
+		obsv = observatory.New(observatory.Config{Addr: *httpAddr, Label: label})
+	}
 	var campaign *obs.CampaignMetrics
-	if *metrics {
-		campaign = obs.NewCampaignMetrics()
+	if *metrics || obsv != nil {
+		campaign = obsv.Campaign()
+		if campaign == nil {
+			campaign = obs.NewCampaignMetrics()
+		}
 		opts.Metrics = campaign
 	}
+	opts.Introspect = obsv.Introspector()
 	var sinks obs.MultiSink
 	var jsonl *obs.JSONLSink
 	if *jsonLog != "" {
@@ -229,7 +253,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "racefuzzer: -json: %v\n", err)
 			os.Exit(1)
 		}
-		jsonl = obs.NewJSONLSink(f)
+		jsonl = obs.NewJSONLSink(f).AutoFlush(*jsonFlush)
 		sinks = append(sinks, jsonl)
 	}
 	var prog *obs.Progress
@@ -237,8 +261,32 @@ func main() {
 		prog = obs.NewProgress(os.Stderr, 2*time.Second)
 		sinks = append(sinks, prog)
 	}
+	if s := obsv.Sink(); s != nil {
+		sinks = append(sinks, s)
+	}
 	if len(sinks) > 0 {
 		opts.Sink = sinks
+	}
+	if obsv != nil {
+		if err := obsv.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "racefuzzer: observatory listening on http://%s\n", obsv.Addr())
+		// SIGINT/SIGTERM ends the campaign gracefully: flush a final
+		// snapshot to subscribers, drain the server, exit clean.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := obsv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: observatory shutdown: %v\n", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}()
 	}
 	finishObservers := func() {
 		prog.Finish()
@@ -247,7 +295,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "racefuzzer: -json: %v\n", err)
 			}
 		}
-		if campaign != nil {
+		if obsv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := obsv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: observatory shutdown: %v\n", err)
+			}
+			cancel()
+		}
+		if *metrics {
 			fmt.Println()
 			fmt.Print(campaign.Snapshot().Table("campaign metrics").Render())
 		}
@@ -268,14 +323,16 @@ func main() {
 			names = []string{*name}
 		}
 		rows := harness.RunAdaptiveCampaign(names, harness.CampaignOptions{
-			Seed:     *seed,
-			Budget:   *budget,
-			Rounds:   *rounds,
-			Workers:  *workers,
-			Corpus:   store,
-			TraceDir: traceDir,
-			Metrics:  campaign,
-			Sink:     opts.Sink,
+			Seed:       *seed,
+			Budget:     *budget,
+			Rounds:     *rounds,
+			Workers:    *workers,
+			Corpus:     store,
+			TraceDir:   traceDir,
+			Metrics:    campaign,
+			Sink:       opts.Sink,
+			Gauges:     obsv.Registry(),
+			Introspect: obsv.Introspector(),
 		})
 		fmt.Print(harness.RenderCampaign(rows))
 		finishObservers()

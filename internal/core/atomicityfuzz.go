@@ -31,11 +31,12 @@ func DetectAtomicityTargets(prog Program, o Options) []AtomicityTarget {
 				rm = obs.NewRunMetrics()
 			}
 			res := sched.Run(prog, sched.Config{
-				Seed:      o.Seed + int64(i),
-				Policy:    sched.NewRandomPolicy(),
-				Observers: []sched.Observer{det},
-				MaxSteps:  o.MaxSteps,
-				Metrics:   rm,
+				Seed:       o.Seed + int64(i),
+				Policy:     sched.NewRandomPolicy(),
+				Observers:  []sched.Observer{det},
+				MaxSteps:   o.MaxSteps,
+				Metrics:    rm,
+				Introspect: o.Introspect,
 			})
 			return obsRun{cands: det.Candidates(), res: res}
 		},
@@ -126,7 +127,10 @@ func atomicityTrial(prog Program, target AtomicityTarget, targetIndex, i int, o 
 	if o.observing() {
 		rm = obs.NewRunMetrics()
 	}
-	res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+		Metrics: rm, Introspect: o.Introspect,
+	})
 	return atomicityTrialResult{res: res, violations: pol.Violations()}
 }
 

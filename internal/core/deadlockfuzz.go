@@ -55,11 +55,12 @@ func DetectPotentialDeadlocksWithPolicy(prog Program, o Options, pol sched.Polic
 				rm = obs.NewRunMetrics()
 			}
 			res := sched.Run(prog, sched.Config{
-				Seed:      o.Seed + int64(i),
-				Policy:    p,
-				Observers: []sched.Observer{det},
-				MaxSteps:  o.MaxSteps,
-				Metrics:   rm,
+				Seed:       o.Seed + int64(i),
+				Policy:     p,
+				Observers:  []sched.Observer{det},
+				MaxSteps:   o.MaxSteps,
+				Metrics:    rm,
+				Introspect: o.Introspect,
 			})
 			return obsRun{cycles: det.Cycles(), res: res}
 		},
@@ -144,7 +145,10 @@ func deadlockTrial(prog Program, target [2]event.LockID, cycleIndex, i int, o Op
 		rm = obs.NewRunMetrics()
 	}
 	seed := pairSeed(o.Seed, cycleIndex+7_000_000, i)
-	return sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+	return sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+		Metrics: rm, Introspect: o.Introspect,
+	})
 }
 
 // deadlockAgg folds ConfirmDeadlock trial results in trial order.

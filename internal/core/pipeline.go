@@ -67,6 +67,11 @@ type Options struct {
 	// calls happen on the ordered merge goroutine, so verdicts are
 	// bit-identical at any Workers setting.
 	Corpus *corpus.Store
+	// Introspect, when non-nil, registers every execution with the live
+	// scheduler-state introspector (the observatory's /debug/sched). Costs
+	// one atomic load per scheduling round when attached, one nil check
+	// when not; never perturbs schedules.
+	Introspect *sched.Introspector
 }
 
 // observing reports whether per-run telemetry should be collected at all.
@@ -155,11 +160,12 @@ func DetectPotentialRaces(prog Program, o Options) []event.StmtPair {
 				rm = obs.NewRunMetrics()
 			}
 			res := sched.Run(prog, sched.Config{
-				Seed:      o.Seed + int64(i),
-				Policy:    sched.NewRandomPolicy(),
-				Observers: []sched.Observer{det},
-				MaxSteps:  o.MaxSteps,
-				Metrics:   rm,
+				Seed:       o.Seed + int64(i),
+				Policy:     sched.NewRandomPolicy(),
+				Observers:  []sched.Observer{det},
+				MaxSteps:   o.MaxSteps,
+				Metrics:    rm,
+				Introspect: o.Introspect,
 			})
 			return obsRun{pairs: det.Pairs(), res: res}
 		},
@@ -199,8 +205,9 @@ func FuzzRun(prog Program, pair event.StmtPair, seed int64, o Options) *RunRepor
 	}
 	res := sched.Run(prog, sched.Config{
 		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
-		Name:    fmt.Sprintf("racefuzzer%v", pair),
-		Metrics: rm,
+		Name:       fmt.Sprintf("racefuzzer%v", pair),
+		Metrics:    rm,
+		Introspect: o.Introspect,
 	})
 	return &RunReport{Seed: seed, Result: res, Races: pol.Races(), RaceCreated: pol.RaceCreated()}
 }
@@ -456,7 +463,10 @@ func FuzzSet(prog Program, pairs []event.StmtPair, o Options) SetReport {
 				rm = obs.NewRunMetrics()
 				pol.Metrics = rm
 			}
-			res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Metrics: rm})
+			res := sched.Run(prog, sched.Config{
+				Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+				Metrics: rm, Introspect: o.Introspect,
+			})
 			return setRun{res: res, races: pol.Races(), created: pol.RaceCreated()}
 		},
 		func(i int, r setRun) {

@@ -166,6 +166,11 @@ func (p *RaceFuzzerPolicy) RaceCreated() bool { return len(p.races) > 0 }
 // livelock-monitor releases), used by ablation benchmarks.
 func (p *RaceFuzzerPolicy) Stats() (released, aged int) { return p.released, p.aged }
 
+// PostponedThreads implements sched.PostponedReporter: the current
+// postponed set in ascending thread order, surfaced by live scheduler
+// introspection (/debug/sched). Called on the controller goroutine only.
+func (p *RaceFuzzerPolicy) PostponedThreads() []event.ThreadID { return p.sortedPostponed() }
+
 // Tracked returns the number of target-statement encounters — the accesses
 // RaceFuzzer actually had to reason about. The paper's low-overhead claim
 // (§4) is that this is tiny compared to the total memory accesses the hybrid

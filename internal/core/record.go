@@ -29,8 +29,9 @@ func RecordRace(prog Program, pair event.StmtPair, seed int64, o Options) (*RunR
 	})
 	res := sched.Run(prog, sched.Config{
 		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
-		Name:   fmt.Sprintf("racefuzzer%v", pair),
-		Flight: rec,
+		Name:       fmt.Sprintf("racefuzzer%v", pair),
+		Flight:     rec,
+		Introspect: o.Introspect,
 	})
 	rec.Finish(res)
 	return &RunReport{Seed: seed, Result: res, Races: pol.Races(), RaceCreated: pol.RaceCreated()}, rec.Recording()
@@ -46,7 +47,10 @@ func RecordDeadlockRun(prog Program, target [2]event.LockID, seed int64, o Optio
 		Label: o.Label, Policy: pol.Name(), Kind: "deadlock",
 		Seed: seed, Pair: fmt.Sprintf("(%s, %s)", target[0], target[1]), MaxSteps: o.MaxSteps,
 	})
-	res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Flight: rec})
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+		Flight: rec, Introspect: o.Introspect,
+	})
 	rec.Finish(res)
 	return res, rec.Recording()
 }
@@ -60,7 +64,10 @@ func RecordAtomicityRun(prog Program, target AtomicityTarget, seed int64, o Opti
 		Label: o.Label, Policy: pol.Name(), Kind: "atomicity",
 		Seed: seed, Pair: fmt.Sprintf("(%s, %s)", target.First, target.Second), MaxSteps: o.MaxSteps,
 	})
-	res := sched.Run(prog, sched.Config{Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Flight: rec})
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+		Flight: rec, Introspect: o.Introspect,
+	})
 	rec.Finish(res)
 	return res, pol.Violations(), rec.Recording()
 }

@@ -8,6 +8,7 @@ import (
 	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/report"
+	"racefuzzer/internal/sched"
 )
 
 // The adaptive budget campaign: instead of giving every registry target the
@@ -42,6 +43,13 @@ type CampaignOptions struct {
 	// Metrics and Sink observe every pipeline execution, as in Options.
 	Metrics *obs.CampaignMetrics
 	Sink    obs.Sink
+	// Gauges, when non-nil, receives live campaign-progress gauges
+	// (campaign.round, campaign.round_budget, campaign.targets) for the
+	// observatory's /metrics endpoint.
+	Gauges *obs.Registry
+	// Introspect, when non-nil, exposes live scheduler state to the
+	// observatory's /debug/sched (see core.Options.Introspect).
+	Introspect *sched.Introspector
 }
 
 func (o CampaignOptions) withDefaults() CampaignOptions {
@@ -102,11 +110,14 @@ func RunAdaptiveCampaign(names []string, o CampaignOptions) []CampaignRow {
 	}
 	// Split the global budget over rounds as evenly as possible (earlier
 	// rounds absorb the remainder), then across targets by discovery weight.
+	o.Gauges.Gauge("campaign.targets").Set(float64(len(names)))
 	for r := 0; r < o.Rounds; r++ {
 		roundBudget := o.Budget / o.Rounds
 		if r < o.Budget%o.Rounds {
 			roundBudget++
 		}
+		o.Gauges.Gauge("campaign.round").Set(float64(r + 1))
+		o.Gauges.Gauge("campaign.round_budget").Set(float64(roundBudget))
 		alloc := corpus.Allocate(roundBudget, states)
 		for i := range names {
 			rows[i].AllocByRound = append(rows[i].AllocByRound, alloc[i])
@@ -156,6 +167,7 @@ func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, store *corpus.
 		Metrics:      o.Metrics,
 		Sink:         o.Sink,
 		Corpus:       store,
+		Introspect:   o.Introspect,
 	}
 	if opts.Phase1Trials <= 0 {
 		opts.Phase1Trials = 3

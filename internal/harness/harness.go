@@ -48,6 +48,9 @@ type Options struct {
 	// Corpus, when non-nil, receives every confirmed finding for dedup
 	// against prior campaigns (core.Options.Corpus).
 	Corpus *corpus.Store
+	// Introspect, when non-nil, exposes live scheduler state to the
+	// observatory's /debug/sched (core.Options.Introspect).
+	Introspect *sched.Introspector
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +153,7 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 		Metrics:      perBench,
 		Workers:      o.Workers,
 		Corpus:       o.Corpus,
+		Introspect:   o.Introspect,
 	}
 	var sinks obs.MultiSink
 	if o.Metrics != nil {

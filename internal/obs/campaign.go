@@ -161,6 +161,7 @@ func (c *CampaignMetrics) Snapshot() Snapshot {
 	defer c.mu.Unlock()
 	s.Counters = []NamedCounter{
 		{Name: "runs.total", Value: c.runs},
+		{Name: "trials.total", Value: c.runs - c.phase1Runs},
 		{Name: "runs.phase1", Value: c.phase1Runs},
 		{Name: "runs.race", Value: c.raceRuns},
 		{Name: "runs.exception", Value: c.exceptionRuns},
@@ -187,10 +188,13 @@ func (c *CampaignMetrics) Snapshot() Snapshot {
 		s.Gauges = append(s.Gauges,
 			NamedGauge{Name: "race.hit_rate", Value: float64(c.raceRuns) / float64(c.runs)})
 	}
+	// dedup_rate is emitted unconditionally (0 before any sighting) so live
+	// scrapers see a stable metric set from the first scrape on.
+	dedup := 0.0
 	if sightings := c.findingsNew + c.findingsKnown; sightings > 0 {
-		s.Gauges = append(s.Gauges,
-			NamedGauge{Name: "findings.dedup_rate", Value: float64(c.findingsKnown) / float64(sightings)})
+		dedup = float64(c.findingsKnown) / float64(sightings)
 	}
+	s.Gauges = append(s.Gauges, NamedGauge{Name: "findings.dedup_rate", Value: dedup})
 	s.Histograms = []NamedHistogram{
 		{Name: "steps_to_race", Hist: c.stepsToRace.Snapshot()},
 		{Name: "enabled_threads", Hist: c.enabled.Snapshot()},

@@ -175,6 +175,56 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket counts
+// by linear interpolation within the bucket that holds the target rank — the
+// standard Prometheus histogram_quantile estimator. The estimate is clamped
+// to the observed [Min, Max] range so tiny samples don't report a bucket
+// bound no sample reached; the overflow bucket yields Max. Returns 0 when
+// the snapshot is empty and NaN-free for any q.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		seen += float64(c)
+		if seen < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no upper bound, report the observed max.
+			return s.Max
+		}
+		lo := s.Min
+		if i > 0 {
+			lo = s.Bounds[i-1]
+			if lo < s.Min {
+				lo = s.Min
+			}
+		}
+		hi := s.Bounds[i]
+		if hi > s.Max {
+			hi = s.Max
+		}
+		if hi < lo {
+			return lo
+		}
+		within := (rank - (seen - float64(c))) / float64(c)
+		return lo + (hi-lo)*within
+	}
+	return s.Max
+}
+
 // String renders the buckets compactly: "<=2:5 <=8:1 >8:0 (n=6 mean=2.3)".
 func (s HistogramSnapshot) String() string {
 	if s.Count == 0 {

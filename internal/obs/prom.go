@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) for the obs metric
+// types. The renderer is dependency-free by design — the exposition format
+// is a few lines of escaping rules — and renders from immutable Snapshots,
+// so it never holds a registry lock while writing to a network connection.
+//
+// Naming: snapshot metric names use dotted lower-case ("runs.total",
+// "findings.dedup_rate"); exposition names are the sanitized form prefixed
+// with the subsystem ("racefuzzer_runs_total"). Counters carry the
+// conventional _total suffix (an existing ".total" segment is folded into
+// it rather than doubled). Statement labels like "figure2/main.go:31" are
+// exposed as label VALUES, never as metric names, so they only need value
+// escaping.
+
+// PromName sanitizes name into a legal Prometheus metric name under prefix:
+// every character outside [a-zA-Z0-9_] becomes '_' (including ':', which is
+// reserved for recording rules), runs of '_' collapse, and a leading digit
+// gains a '_' guard.
+func PromName(prefix, name string) string {
+	var b strings.Builder
+	b.Grow(len(prefix) + len(name) + 1)
+	if prefix != "" {
+		b.WriteString(prefix)
+		b.WriteByte('_')
+	}
+	lastUnderscore := prefix != ""
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		legal := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+		if !legal {
+			c = '_'
+		}
+		if c == '_' {
+			if lastUnderscore {
+				continue
+			}
+			lastUnderscore = true
+		} else {
+			lastUnderscore = false
+		}
+		b.WriteByte(c)
+	}
+	out := strings.TrimSuffix(b.String(), "_")
+	if out == "" {
+		return "_"
+	}
+	if '0' <= out[0] && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// promCounterName is PromName plus the counter _total suffix convention.
+func promCounterName(prefix, name string) string {
+	n := PromName(prefix, name)
+	if !strings.HasSuffix(n, "_total") {
+		n += "_total"
+	}
+	return n
+}
+
+// PromEscapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func PromEscapeLabel(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// PromLabel is one label pair of a sample.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+// PromSample is one sample of a labeled metric family.
+type PromSample struct {
+	Labels []PromLabel
+	Value  float64
+}
+
+// promValue renders a float the way Prometheus expects (+Inf / -Inf / NaN
+// spellings, shortest-round-trip otherwise).
+func promValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func promLabels(labels []PromLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		// PromEscapeLabel already produces the exposition escaping; %q would
+		// double-escape backslashes and quotes.
+		parts[i] = PromName("", l.Name) + `="` + PromEscapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePromFamily writes one complete metric family: HELP/TYPE header and
+// every sample. typ is "counter", "gauge", "histogram" or "untyped". The
+// name must already be sanitized (use PromName).
+func WritePromFamily(w io.Writer, name, help, typ string, samples ...PromSample) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(s.Labels), promValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promQuantiles are the summary quantiles exposed per histogram.
+var promQuantiles = []float64{0.5, 0.9, 0.99}
+
+// writePromHistogram writes one histogram family (cumulative _bucket series
+// with le labels, _sum, _count) plus a companion <name>_quantile gauge
+// family carrying interpolated summary quantiles.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot, extra []PromLabel) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		le := append(append([]PromLabel(nil), extra...), PromLabel{Name: "le", Value: promValue(bound)})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(le), cum); err != nil {
+			return err
+		}
+	}
+	cum = h.Count
+	inf := append(append([]PromLabel(nil), extra...), PromLabel{Name: "le", Value: "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(inf), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(extra), promValue(h.Sum)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(extra), h.Count); err != nil {
+		return err
+	}
+	if h.Count == 0 {
+		return nil
+	}
+	samples := make([]PromSample, 0, len(promQuantiles))
+	for _, q := range promQuantiles {
+		samples = append(samples, PromSample{
+			Labels: append(append([]PromLabel(nil), extra...),
+				PromLabel{Name: "quantile", Value: promValue(q)}),
+			Value: h.Quantile(q),
+		})
+	}
+	return WritePromFamily(w, name+"_quantile", "", "gauge", samples...)
+}
+
+// WriteProm renders a Snapshot as Prometheus exposition text: counters under
+// sanitized _total names, gauges verbatim, histograms with cumulative
+// buckets and interpolated quantile companions. Snapshots are sorted by
+// construction, so the output is byte-stable for a given metric state.
+func WriteProm(w io.Writer, prefix string, s Snapshot) error {
+	for _, c := range s.Counters {
+		if err := WritePromFamily(w, promCounterName(prefix, c.Name), "", "counter",
+			PromSample{Value: float64(c.Value)}); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := WritePromFamily(w, PromName(prefix, g.Name), "", "gauge",
+			PromSample{Value: g.Value}); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writePromHistogram(w, PromName(prefix, h.Name), h.Hist, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRuntimeProm writes the Go runtime families every long-running
+// campaign wants on a dashboard: goroutines, heap, GC activity.
+func WriteRuntimeProm(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	families := []struct {
+		name, help, typ string
+		value           float64
+	}{
+		{"go_goroutines", "Number of goroutines that currently exist.", "gauge", float64(runtime.NumGoroutine())},
+		{"go_threads", "Number of OS threads created.", "gauge", float64(runtime.GOMAXPROCS(0))},
+		{"go_memstats_alloc_bytes", "Number of bytes allocated and still in use.", "gauge", float64(ms.Alloc)},
+		{"go_memstats_sys_bytes", "Number of bytes obtained from system.", "gauge", float64(ms.Sys)},
+		{"go_memstats_heap_objects", "Number of allocated objects.", "gauge", float64(ms.HeapObjects)},
+		{"go_gc_cycles_total", "Number of completed GC cycles.", "counter", float64(ms.NumGC)},
+	}
+	for _, f := range families {
+		if err := WritePromFamily(w, f.name, f.help, f.typ, PromSample{Value: f.value}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortPromSamples orders samples by their rendered label set, giving labeled
+// families a deterministic exposition order.
+func SortPromSamples(samples []PromSample) {
+	sort.Slice(samples, func(i, j int) bool {
+		return promLabels(samples[i].Labels) < promLabels(samples[j].Labels)
+	})
+}

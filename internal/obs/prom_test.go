@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := []struct {
+		prefix, in, want string
+	}{
+		{"racefuzzer", "runs.total", "racefuzzer_runs_total"},
+		{"racefuzzer", "findings.dedup_rate", "racefuzzer_findings_dedup_rate"},
+		// ':' is reserved for recording rules and must never survive.
+		{"", "sched:steps", "sched_steps"},
+		// Statement-like names with '/' and ':' collapse to single underscores.
+		{"rf", "figure2/main.go:31", "rf_figure2_main_go_31"},
+		{"", "events.READ", "events_READ"},
+		// Runs of illegal characters collapse; trailing junk is trimmed.
+		{"", "a..b--c..", "a_b_c"},
+		// Leading digit gains a guard.
+		{"", "2phase", "_2phase"},
+		// Degenerate input still yields a legal name.
+		{"", "...", "_"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.prefix, c.in); got != c.want {
+			t.Errorf("PromName(%q, %q) = %q, want %q", c.prefix, c.in, got, c.want)
+		}
+	}
+}
+
+func TestPromCounterNameFoldsTotal(t *testing.T) {
+	if got := promCounterName("racefuzzer", "trials.total"); got != "racefuzzer_trials_total" {
+		t.Errorf("existing .total doubled: %q", got)
+	}
+	if got := promCounterName("racefuzzer", "findings.new"); got != "racefuzzer_findings_new_total" {
+		t.Errorf("missing _total suffix: %q", got)
+	}
+}
+
+func TestPromEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`with "quotes"`, `with \"quotes\"`},
+		{`back\slash`, `back\\slash`},
+		{"line\nbreak", `line\nbreak`},
+		// Statement pairs pass through untouched — '/' and ':' are legal in
+		// label values.
+		{`(figure2/main.go:31, figure2/main.go:42)`, `(figure2/main.go:31, figure2/main.go:42)`},
+	}
+	for _, c := range cases {
+		if got := PromEscapeLabel(c.in); got != c.want {
+			t.Errorf("PromEscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPromValueSpellings(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {0.5, "0.5"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+	}
+	for _, c := range cases {
+		if got := promValue(c.in); got != c.want {
+			t.Errorf("promValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := promValue(math.NaN()); got != "NaN" {
+		t.Errorf("promValue(NaN) = %q", got)
+	}
+}
+
+// TestWritePromGolden locks the full exposition byte layout: counters with
+// the _total convention, gauges, a histogram with cumulative buckets and
+// quantile companions, and a labeled family with values needing escaping.
+func TestWritePromGolden(t *testing.T) {
+	var b strings.Builder
+
+	reg := NewRegistry()
+	reg.Counter("runs.total").Add(7)
+	reg.Counter("findings.new").Add(2)
+	reg.Gauge("findings.dedup_rate").Set(0.25)
+	h := reg.Histogram("steps_to_race", 10, 100, 1000)
+	for _, v := range []float64{3, 14, 250, 251, 252, 9000} {
+		h.Observe(v)
+	}
+	if err := WriteProm(&b, "racefuzzer", reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := []PromSample{
+		{Labels: []PromLabel{{Name: "bench", Value: "figure2"}, {Name: "target", Value: `(figure2/main.go:31, figure2/main.go:42)`}}, Value: 40},
+		{Labels: []PromLabel{{Name: "bench", Value: `evil"bench`}, {Name: "target", Value: "line\nbreak"}}, Value: 2},
+	}
+	SortPromSamples(samples)
+	if err := WritePromFamily(&b, "racefuzzer_target_runs_total",
+		"Phase-2 trials per directed target.", "counter", samples...); err != nil {
+		t.Fatal(err)
+	}
+
+	got := b.String()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePromFormatInvariants checks structural properties a Prometheus
+// scraper relies on, independent of the exact byte layout.
+func TestWritePromFormatInvariants(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs.total").Add(3)
+	reg.Gauge("campaign.round").Set(2)
+	h := reg.Histogram("enabled", 2, 4)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := WriteProm(&b, "racefuzzer", reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// Every non-comment line is `name{labels} value` with a legal name.
+	lineRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? [^ ]+$`)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRe.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+
+	// Histogram buckets are cumulative and capped by the +Inf bucket.
+	for _, want := range []string{
+		`racefuzzer_enabled_bucket{le="2"} 1`,
+		`racefuzzer_enabled_bucket{le="4"} 2`,
+		`racefuzzer_enabled_bucket{le="+Inf"} 3`,
+		`racefuzzer_enabled_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	// Empty histogram: quantiles are 0, not NaN.
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram q0.5 = %v, want 0", got)
+	}
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != s.Min {
+		t.Errorf("q0 = %v, want Min %v", got, s.Min)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("q1 = %v, want Max %v", got, s.Max)
+	}
+	// Half the mass is in the overflow bucket (31..100); the median must be
+	// in it, and never exceed the observed Max.
+	if got := s.Quantile(0.9); got > s.Max {
+		t.Errorf("q0.9 = %v exceeds Max %v", got, s.Max)
+	}
+	// q0.05 lands in the first bucket (values 1..10): interpolation keeps it
+	// within the bucket's range.
+	if got := s.Quantile(0.05); got < s.Min || got > 10 {
+		t.Errorf("q0.05 = %v, want within [%v, 10]", got, s.Min)
+	}
+	// Quantiles are monotonic in q.
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Errorf("quantiles not monotonic: q%v = %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -101,12 +101,13 @@ func Emit(s Sink, rec RunRecord) {
 // The first write error is retained and reported by Err; later emits are
 // dropped.
 type JSONLSink struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer
-	enc *json.Encoder
-	err error
-	seq int64
+	mu        sync.Mutex
+	w         *bufio.Writer
+	c         io.Closer
+	enc       *json.Encoder
+	err       error
+	seq       int64
+	flushEach int64
 }
 
 // NewJSONLSink wraps w. If w is also an io.Closer, Close closes it.
@@ -116,6 +117,17 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
+	return s
+}
+
+// AutoFlush makes the sink flush its buffer after every n records (n <= 0
+// disables, the default). Long campaigns set a small n so `tail -f` of the
+// run log — and any file-backed live consumer — sees records as they land
+// instead of only at Close. Returns the sink for call chaining.
+func (s *JSONLSink) AutoFlush(n int) *JSONLSink {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushEach = int64(n)
 	return s
 }
 
@@ -132,6 +144,9 @@ func (s *JSONLSink) Emit(rec RunRecord) {
 	rec.Seq = s.seq
 	s.seq++
 	s.err = s.enc.Encode(rec)
+	if s.err == nil && s.flushEach > 0 && s.seq%s.flushEach == 0 {
+		s.err = s.w.Flush()
+	}
 }
 
 // Flush drains the buffer.

@@ -35,6 +35,52 @@ func TestJSONLSinkSeq(t *testing.T) {
 	}
 }
 
+// TestJSONLSinkAutoFlush: with AutoFlush(n) every n-th record drains the
+// buffer, so a `tail -f` reader sees complete lines mid-campaign; without
+// it, nothing reaches the writer before Flush/Close.
+func TestJSONLSinkAutoFlush(t *testing.T) {
+	countLines := func(b *bytes.Buffer) int {
+		s := b.String()
+		if s == "" {
+			return 0
+		}
+		if !strings.HasSuffix(s, "\n") {
+			t.Fatalf("partial line reached the writer: %q", s)
+		}
+		return strings.Count(s, "\n")
+	}
+
+	var plain bytes.Buffer
+	p := NewJSONLSink(&plain)
+	for i := 0; i < 3; i++ {
+		p.Emit(RunRecord{Trial: i})
+	}
+	if n := countLines(&plain); n != 0 {
+		t.Fatalf("default sink leaked %d lines before Flush", n)
+	}
+
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf).AutoFlush(2)
+	s.Emit(RunRecord{Trial: 0})
+	if n := countLines(&buf); n != 0 {
+		t.Fatalf("flushed after 1 record with AutoFlush(2): %d lines", n)
+	}
+	s.Emit(RunRecord{Trial: 1})
+	if n := countLines(&buf); n != 2 {
+		t.Fatalf("after 2nd record: %d complete lines, want 2", n)
+	}
+	s.Emit(RunRecord{Trial: 2})
+	if n := countLines(&buf); n != 2 {
+		t.Fatalf("3rd record flushed early: %d lines", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countLines(&buf); n != 3 {
+		t.Fatalf("after Close: %d lines, want 3", n)
+	}
+}
+
 // TestJSONLSinkConcurrentEmit hammers one sink from many goroutines and
 // checks the invariants parallel campaigns rely on: every record lands as
 // valid single-line JSON (no interleaved bytes), nothing is lost, and the

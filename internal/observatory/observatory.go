@@ -1,0 +1,351 @@
+// Package observatory is the live window into a running campaign: an
+// embedded net/http server (the -http flag on cmd/racefuzzer and
+// cmd/benchtable) exposing
+//
+//	/            an embedded HTML dashboard rendering the SSE stream
+//	/metrics     Prometheus text-format exposition of the obs metric state
+//	/events      a Server-Sent-Events stream of run records and findings
+//	/debug/sched JSON snapshots of live scheduler state (wait-for graph)
+//	/healthz     liveness probe
+//
+// Design constraints, in order:
+//
+//   - Zero overhead when off. A nil *Server returns nil from every wiring
+//     accessor (Sink, Introspector, Registry), and nil sinks/introspectors
+//     are no-ops all the way down — with -http unset the campaign runs the
+//     byte-for-byte PR-4 code path.
+//   - Never perturb the campaign. The server only consumes immutable
+//     snapshots and broadcast events; a slow or stuck HTTP client is
+//     dropped (bounded per-subscriber buffers), never waited on.
+//   - Race-free under -race at any Workers width: all shared state is the
+//     obs/sched packages' locked or atomic structures.
+package observatory
+
+import (
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"racefuzzer/internal/obs"
+	"racefuzzer/internal/sched"
+)
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// maxTargetSeries bounds the per-target label cardinality exposed on
+// /metrics; targets beyond the cap are counted, not silently lost.
+const maxTargetSeries = 512
+
+// Config parameterizes New.
+type Config struct {
+	// Addr is the listen address (e.g. ":8080", "127.0.0.1:0").
+	Addr string
+	// Label names the campaign on the dashboard.
+	Label string
+	// Campaign is the aggregator /metrics renders; New creates one when nil.
+	Campaign *obs.CampaignMetrics
+	// EventBuffer is the per-subscriber event buffer (default 256).
+	EventBuffer int
+}
+
+// Server is the embedded campaign monitor. All methods are safe on a nil
+// receiver, so call sites wire it unconditionally.
+type Server struct {
+	cfg   Config
+	camp  *obs.CampaignMetrics
+	reg   *obs.Registry
+	bc    *obs.Broadcast
+	insp  *sched.Introspector
+	start time.Time
+
+	mu      sync.Mutex
+	targets map[targetKey]*targetCount
+	skipped int64 // targets beyond maxTargetSeries
+
+	scrapes atomic.Int64
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// targetKey identifies one labeled series: the pipeline kind and the
+// rendered target (statement pair / lock pair / atomic block).
+type targetKey struct {
+	label, kind, pair string
+}
+
+// targetCount is the per-target live tally.
+type targetCount struct {
+	runs, confirming int64
+}
+
+// New assembles a server (not yet listening).
+func New(cfg Config) *Server {
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	camp := cfg.Campaign
+	if camp == nil {
+		camp = obs.NewCampaignMetrics()
+	}
+	return &Server{
+		cfg:     cfg,
+		camp:    camp,
+		reg:     obs.NewRegistry(),
+		bc:      obs.NewBroadcast(),
+		insp:    sched.NewIntrospector(),
+		targets: make(map[targetKey]*targetCount),
+		start:   time.Now(),
+	}
+}
+
+// Campaign returns the aggregator /metrics renders (nil when off).
+func (s *Server) Campaign() *obs.CampaignMetrics {
+	if s == nil {
+		return nil
+	}
+	return s.camp
+}
+
+// Registry returns the live gauge registry (campaign round/budget gauges);
+// nil when off.
+func (s *Server) Registry() *obs.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Introspector returns the scheduler introspection hook (nil when off).
+func (s *Server) Introspector() *sched.Introspector {
+	if s == nil {
+		return nil
+	}
+	return s.insp
+}
+
+// Sink returns the sink that feeds the event stream and the per-target
+// tallies; nil when off, so it composes with obs.MultiSink unconditionally.
+func (s *Server) Sink() obs.Sink {
+	if s == nil {
+		return nil
+	}
+	return serverSink{s}
+}
+
+// serverSink adapts the server to obs.Sink without exposing Emit on a
+// possibly-nil *Server through a non-nil interface.
+type serverSink struct{ s *Server }
+
+// Emit tallies the record's target series and fans it out to subscribers.
+func (w serverSink) Emit(rec obs.RunRecord) {
+	s := w.s
+	if rec.Phase == 2 {
+		key := targetKey{label: rec.Label, kind: rec.Kind, pair: rec.Pair}
+		s.mu.Lock()
+		tc := s.targets[key]
+		if tc == nil {
+			if len(s.targets) >= maxTargetSeries {
+				s.skipped++
+			} else {
+				tc = &targetCount{}
+				s.targets[key] = tc
+			}
+		}
+		if tc != nil {
+			tc.runs++
+			if rec.RaceCreated || rec.Deadlock {
+				tc.confirming++
+			}
+		}
+		s.mu.Unlock()
+	}
+	s.bc.Emit(rec)
+}
+
+// Start begins listening and serving in the background. Nil-safe no-op.
+func (s *Server) Start() error {
+	if s == nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleDashboard)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/sched", s.handleSched)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start or when off) —
+// with ":0" configs this is where the ephemeral port surfaces.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: it publishes one final "shutdown"
+// event carrying the closing campaign snapshot, closes every subscriber
+// (unblocking their SSE handlers), and drains the HTTP server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	final := s.camp.Snapshot()
+	s.bc.Publish(obs.StreamEvent{Type: "shutdown", Metrics: &final})
+	s.bc.Close()
+	return s.srv.Shutdown(ctx)
+}
+
+// handleDashboard serves the embedded single-file dashboard.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}
+
+// handleMetrics renders the full Prometheus exposition: campaign
+// aggregates, live registry gauges, per-target series, the observatory's
+// own health, and Go runtime stats.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.scrapes.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, "racefuzzer", s.camp.Snapshot())
+	obs.WriteProm(w, "racefuzzer", s.reg.Snapshot())
+	s.writeTargetFamilies(w)
+	s.writeSelfFamilies(w)
+	obs.WriteRuntimeProm(w)
+}
+
+// writeTargetFamilies renders the per-pipeline/per-target labeled counters.
+func (s *Server) writeTargetFamilies(w http.ResponseWriter) {
+	s.mu.Lock()
+	runs := make([]obs.PromSample, 0, len(s.targets))
+	confirming := make([]obs.PromSample, 0, len(s.targets))
+	for key, tc := range s.targets {
+		labels := []obs.PromLabel{
+			{Name: "bench", Value: key.label},
+			{Name: "kind", Value: key.kind},
+			{Name: "target", Value: key.pair},
+		}
+		runs = append(runs, obs.PromSample{Labels: labels, Value: float64(tc.runs)})
+		confirming = append(confirming, obs.PromSample{Labels: labels, Value: float64(tc.confirming)})
+	}
+	skipped := s.skipped
+	s.mu.Unlock()
+	obs.SortPromSamples(runs)
+	obs.SortPromSamples(confirming)
+	obs.WritePromFamily(w, "racefuzzer_target_runs_total",
+		"Phase-2 trials per directed target.", "counter", runs...)
+	obs.WritePromFamily(w, "racefuzzer_target_confirming_runs_total",
+		"Trials that reached the directed goal, per target.", "counter", confirming...)
+	obs.WritePromFamily(w, "racefuzzer_target_series_skipped_total",
+		"Targets not exposed because the label-cardinality cap was reached.", "counter",
+		obs.PromSample{Value: float64(skipped)})
+}
+
+// writeSelfFamilies renders the observatory's own meters.
+func (s *Server) writeSelfFamilies(w http.ResponseWriter) {
+	obs.WritePromFamily(w, "racefuzzer_observatory_subscribers",
+		"Live SSE subscribers.", "gauge",
+		obs.PromSample{Value: float64(s.bc.Subscribers())})
+	obs.WritePromFamily(w, "racefuzzer_observatory_events_total",
+		"Events published to the broadcast stream.", "counter",
+		obs.PromSample{Value: float64(s.bc.Events())})
+	obs.WritePromFamily(w, "racefuzzer_observatory_dropped_subscribers_total",
+		"Subscribers evicted for falling behind.", "counter",
+		obs.PromSample{Value: float64(s.bc.Dropped())})
+	obs.WritePromFamily(w, "racefuzzer_observatory_scrapes_total",
+		"Scrapes of this endpoint.", "counter",
+		obs.PromSample{Value: float64(s.scrapes.Load())})
+	obs.WritePromFamily(w, "racefuzzer_observatory_uptime_seconds",
+		"Seconds since the observatory started.", "gauge",
+		obs.PromSample{Value: time.Since(s.start).Seconds()})
+}
+
+// handleEvents serves the SSE stream: an opening "snapshot" event with the
+// current campaign state, then every broadcast event until the client
+// disconnects, falls behind, or the server shuts down.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.bc.Subscribe(s.cfg.EventBuffer)
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	snap := s.camp.Snapshot()
+	writeSSE(w, obs.StreamEvent{Type: "snapshot", Seq: -1, Metrics: &snap})
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.Events():
+			if !open {
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE renders one event in SSE wire format.
+func writeSSE(w http.ResponseWriter, ev obs.StreamEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}
+
+// handleSched serves live scheduler-state snapshots.
+func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
+	timeout := 150 * time.Millisecond
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		if d, err := time.ParseDuration(t); err == nil && d > 0 && d <= 5*time.Second {
+			timeout = d
+		}
+	}
+	snap := s.insp.Snapshot(timeout)
+	// Present active runs in a stable order for scripted consumers.
+	sort.Slice(snap.Active, func(i, j int) bool { return snap.Active[i].RunID < snap.Active[j].RunID })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // best-effort write to client
+}

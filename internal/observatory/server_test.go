@@ -1,0 +1,332 @@
+package observatory
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/core"
+	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/obs"
+	"racefuzzer/internal/sched"
+)
+
+// startServer boots an observatory on an ephemeral port and tears it down
+// with the test.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck // second Shutdown in some tests
+	})
+	return s
+}
+
+func httpGet(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(body), resp
+}
+
+// sseEvent is one parsed frame of the /events stream.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses SSE frames off r until the stream closes, forwarding each
+// frame to out.
+func readSSE(r io.Reader, out chan<- sseEvent) {
+	defer close(out)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var ev sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.name != "" || ev.data != "" {
+				out <- ev
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+// TestObservatoryServesLiveCampaign is the end-to-end path: a real
+// two-phase figure2 campaign with a parallel executor feeds the server,
+// while an SSE client watches and /metrics, /debug/sched, / and /healthz
+// are scraped over real HTTP.
+func TestObservatoryServesLiveCampaign(t *testing.T) {
+	s := startServer(t, Config{Label: "figure2", EventBuffer: 4096})
+	base := "http://" + s.Addr()
+
+	// Subscribe over HTTP before the campaign so the stream sees it live.
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events Content-Type = %q", ct)
+	}
+	frames := make(chan sseEvent, 4096)
+	var collected []sseEvent
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range frames {
+			collected = append(collected, ev)
+		}
+	}()
+	go readSSE(resp.Body, frames)
+
+	// The opening frame must be a metrics snapshot.
+	select {
+	case ev := <-frames:
+		if ev.name != "snapshot" {
+			t.Fatalf("first SSE frame = %q, want snapshot", ev.name)
+		}
+		var parsed obs.StreamEvent
+		if err := json.Unmarshal([]byte(ev.data), &parsed); err != nil {
+			t.Fatalf("snapshot frame not JSON: %v", err)
+		}
+		if parsed.Metrics == nil {
+			t.Fatal("snapshot frame carries no metrics")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no opening snapshot frame")
+	}
+
+	// Run the campaign against the server's wiring accessors, exactly as the
+	// binaries do — parallel executor, corpus dedup, live introspection.
+	b := bench.MustByName("figure2")
+	opts := core.Options{
+		Seed:         1,
+		Phase1Trials: 3,
+		Phase2Trials: 20,
+		Workers:      4,
+		Label:        b.Name,
+		Metrics:      s.Campaign(),
+		Sink:         s.Sink(),
+		Corpus:       corpus.NewStore(),
+		Introspect:   s.Introspector(),
+	}
+	rep := core.Analyze(b.New(), opts)
+	if len(rep.Potential) == 0 {
+		t.Fatal("phase 1 found no potential races in figure2")
+	}
+	if rep.RealCount() == 0 {
+		t.Fatal("campaign confirmed no races in figure2")
+	}
+
+	// /metrics: the acceptance families, with real values, correct type.
+	body, mresp := httpGet(t, base+"/metrics")
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, family := range []string{
+		"racefuzzer_trials_total",
+		"racefuzzer_findings_new_total",
+		"racefuzzer_findings_dedup_rate",
+		"racefuzzer_runs_total",
+		"racefuzzer_steps_to_race_bucket",
+		"racefuzzer_target_runs_total{bench=\"figure2\"",
+		"racefuzzer_observatory_subscribers",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+	var trials float64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "racefuzzer_trials_total ") {
+			fmt.Sscanf(line, "racefuzzer_trials_total %g", &trials) //nolint:errcheck
+		}
+	}
+	if want := float64(len(rep.Potential) * opts.Phase2Trials); trials != want {
+		t.Errorf("racefuzzer_trials_total = %g, want %g", trials, want)
+	}
+
+	// /debug/sched: completed-run snapshot over HTTP.
+	sbody, sresp := httpGet(t, base+"/debug/sched?timeout=100ms")
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/sched Content-Type = %q", ct)
+	}
+	var snap sched.SchedSnapshot
+	if err := json.Unmarshal([]byte(sbody), &snap); err != nil {
+		t.Fatalf("/debug/sched not JSON: %v\n%s", err, sbody)
+	}
+	if snap.LastCompleted == nil {
+		t.Fatal("/debug/sched has no completed run after a whole campaign")
+	}
+	if !snap.LastCompleted.Done || snap.LastCompleted.Policy == "" {
+		t.Errorf("completed snapshot malformed: %+v", snap.LastCompleted)
+	}
+
+	// Dashboard and liveness.
+	dash, dresp := httpGet(t, base+"/")
+	if ct := dresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard Content-Type = %q", ct)
+	}
+	if !strings.Contains(dash, "EventSource") {
+		t.Error("dashboard does not wire up the SSE stream")
+	}
+	if _, nf := httpGet(t, base+"/nosuch"); nf.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", nf.StatusCode)
+	}
+	if hb, _ := httpGet(t, base+"/healthz"); strings.TrimSpace(hb) != "ok" {
+		t.Errorf("/healthz = %q", hb)
+	}
+
+	// Graceful shutdown: the client must receive a final "shutdown" frame
+	// and then a clean stream close.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	var runs, findings int
+	last := sseEvent{}
+	for _, ev := range collected {
+		switch ev.name {
+		case "run":
+			runs++
+		case "finding":
+			findings++
+		}
+		last = ev
+	}
+	if runs == 0 {
+		t.Error("SSE client saw no run events")
+	}
+	if findings == 0 {
+		t.Error("SSE client saw no finding events")
+	}
+	if last.name != "shutdown" {
+		t.Errorf("last SSE frame = %q, want shutdown", last.name)
+	}
+	var final obs.StreamEvent
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil || final.Metrics == nil {
+		t.Errorf("shutdown frame carries no final metrics: %v %s", err, last.data)
+	}
+}
+
+// TestObservatorySchedEndpointShowsDeadlock drives a deterministic
+// deadlock through the introspector and reads its wait-for graph back over
+// HTTP — the payload /debug/sched exists for.
+func TestObservatorySchedEndpointShowsDeadlock(t *testing.T) {
+	s := startServer(t, Config{Label: "deadlock"})
+
+	res := sched.Run(func(t *sched.Thread) {
+		lk := t.Scheduler().NewLock("L")
+		t.LockAcquire(lk, 0)
+		w := t.Fork("w", func(c *sched.Thread) {
+			c.LockAcquire(lk, 0)
+			c.LockRelease(lk, 0)
+		})
+		t.Join(w)
+	}, sched.Config{Seed: 2, Introspect: s.Introspector()})
+	if res.Deadlock == nil {
+		t.Fatal("program did not deadlock")
+	}
+
+	body, _ := httpGet(t, "http://"+s.Addr()+"/debug/sched")
+	var snap sched.SchedSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/sched not JSON: %v", err)
+	}
+	last := snap.LastCompleted
+	if last == nil {
+		t.Fatal("no completed snapshot")
+	}
+	if len(last.WaitFor) != 2 {
+		t.Fatalf("wait-for graph over HTTP has %d edges, want 2: %s", len(last.WaitFor), body)
+	}
+	if len(last.Cycles) != 1 {
+		t.Fatalf("cycles over HTTP = %v, want one", last.Cycles)
+	}
+	if len(last.Locks) != 1 || last.Locks[0].Name != "L" {
+		t.Fatalf("held-locks table over HTTP = %+v", last.Locks)
+	}
+}
+
+// TestObservatoryNilServerIsInert pins the zero-overhead contract: every
+// accessor and lifecycle method of a nil *Server is a usable no-op, so call
+// sites wire the observatory unconditionally.
+func TestObservatoryNilServerIsInert(t *testing.T) {
+	var s *Server
+	if s.Campaign() != nil || s.Registry() != nil || s.Introspector() != nil {
+		t.Error("nil server handed out live wiring")
+	}
+	if s.Sink() != nil {
+		t.Error("nil server Sink is not interface-nil")
+	}
+	if err := s.Start(); err != nil {
+		t.Errorf("nil Start: %v", err)
+	}
+	if s.Addr() != "" {
+		t.Errorf("nil Addr = %q", s.Addr())
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
+	}
+	// The nil wiring must compose with a real run.
+	prog := bench.MustByName("figure2")
+	core.DetectPotentialRaces(prog.New(), core.Options{
+		Seed: 1, Phase1Trials: 1,
+		Metrics: s.Campaign(), Sink: s.Sink(), Introspect: s.Introspector(),
+	})
+}
+
+// TestObservatoryTargetSeriesCap pins the label-cardinality guard: targets
+// beyond the cap are counted in the skipped series, not exposed.
+func TestObservatoryTargetSeriesCap(t *testing.T) {
+	s := startServer(t, Config{Label: "cap"})
+	sink := s.Sink()
+	for i := 0; i < maxTargetSeries+25; i++ {
+		sink.Emit(obs.RunRecord{
+			Phase: 2, Label: "cap", Kind: "race",
+			Pair: fmt.Sprintf("(stmt%d, stmt%d)", i, i+1),
+		})
+	}
+	body, _ := httpGet(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, "racefuzzer_target_series_skipped_total 25") {
+		t.Error("/metrics does not report the 25 skipped series")
+	}
+	if got := strings.Count(body, "racefuzzer_target_runs_total{"); got != maxTargetSeries {
+		t.Errorf("exposed %d target series, want %d", got, maxTargetSeries)
+	}
+}

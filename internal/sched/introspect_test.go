@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"racefuzzer/internal/event"
+)
+
+// joinCycleProgram deadlocks deterministically under any schedule: main
+// joins its child while the child joins main.
+func joinCycleProgram() func(*Thread) {
+	return func(t *Thread) {
+		a := t.Fork("a", func(c *Thread) { c.Join(t) })
+		t.Join(a)
+	}
+}
+
+// lockJoinProgram deadlocks deterministically with one lock edge and one
+// join edge: main holds L and joins a child that is blocked acquiring L.
+func lockJoinProgram() func(*Thread) {
+	return func(t *Thread) {
+		lk := t.Scheduler().NewLock("L")
+		t.LockAcquire(lk, stmt("main-acq"))
+		w := t.Fork("w", func(c *Thread) {
+			c.LockAcquire(lk, stmt("w-acq"))
+			c.LockRelease(lk, stmt("w-rel"))
+		})
+		t.Join(w)
+	}
+}
+
+func TestIntrospectorFinalSnapshotShowsJoinCycle(t *testing.T) {
+	in := NewIntrospector()
+	res := Run(joinCycleProgram(), Config{Seed: 1, Introspect: in})
+	if res.Deadlock == nil {
+		t.Fatal("join cycle did not deadlock")
+	}
+	snap := in.Snapshot(time.Second)
+	if len(snap.Active) != 0 {
+		t.Fatalf("%d active runs after completion", len(snap.Active))
+	}
+	last := snap.LastCompleted
+	if last == nil {
+		t.Fatal("no final snapshot retained")
+	}
+	if !last.Done {
+		t.Error("final snapshot not marked done")
+	}
+	if last.RunID == 0 {
+		t.Error("final snapshot has no run id")
+	}
+	if len(last.WaitFor) != 2 {
+		t.Fatalf("wait-for graph has %d edges, want 2: %+v", len(last.WaitFor), last.WaitFor)
+	}
+	for _, e := range last.WaitFor {
+		if e.Lock != event.NoLock {
+			t.Errorf("join edge %+v carries a lock", e)
+		}
+	}
+	if len(last.Cycles) != 1 || len(last.Cycles[0]) != 2 {
+		t.Fatalf("cycles = %v, want one 2-cycle", last.Cycles)
+	}
+	for _, ts := range last.Threads {
+		if ts.Status == "dead" {
+			continue
+		}
+		if !strings.HasPrefix(ts.BlockedOn, "join ") {
+			t.Errorf("thread %s blockedOn = %q, want join edge", ts.Name, ts.BlockedOn)
+		}
+	}
+}
+
+func TestIntrospectorFinalSnapshotShowsLockEdgeAndHolders(t *testing.T) {
+	in := NewIntrospector()
+	res := Run(lockJoinProgram(), Config{Seed: 7, Introspect: in})
+	if res.Deadlock == nil {
+		t.Fatal("lock/join program did not deadlock")
+	}
+	last := in.Snapshot(time.Second).LastCompleted
+	if last == nil {
+		t.Fatal("no final snapshot retained")
+	}
+	var lockEdges, joinEdges int
+	for _, e := range last.WaitFor {
+		if e.Lock == event.NoLock {
+			joinEdges++
+		} else {
+			lockEdges++
+			if e.LockName != "L" {
+				t.Errorf("lock edge names %q, want L", e.LockName)
+			}
+		}
+	}
+	if lockEdges != 1 || joinEdges != 1 {
+		t.Fatalf("edges = %d lock + %d join, want 1 + 1: %+v", lockEdges, joinEdges, last.WaitFor)
+	}
+	if len(last.Cycles) != 1 || len(last.Cycles[0]) != 2 {
+		t.Fatalf("cycles = %v, want one 2-cycle", last.Cycles)
+	}
+	// The held-locks table must show main holding L, and the blocked child
+	// must say so.
+	if len(last.Locks) != 1 || last.Locks[0].Name != "L" {
+		t.Fatalf("locks = %+v, want held lock L", last.Locks)
+	}
+	var sawHolder, sawBlocked bool
+	for _, ts := range last.Threads {
+		if len(ts.Held) == 1 && ts.Held[0] == "L" {
+			sawHolder = true
+			if ts.ID != last.Locks[0].Holder {
+				t.Errorf("held-locks view disagrees with lock table: %v vs %v", ts.ID, last.Locks[0].Holder)
+			}
+		}
+		if ts.BlockedOn == "lock L" {
+			sawBlocked = true
+		}
+	}
+	if !sawHolder || !sawBlocked {
+		t.Fatalf("holder/blocked views missing (holder %v, blocked %v): %+v", sawHolder, sawBlocked, last.Threads)
+	}
+}
+
+func TestIntrospectorLiveSnapshotOfRunningExecution(t *testing.T) {
+	in := NewIntrospector()
+	done := make(chan *Result, 1)
+	var final int
+	go func() {
+		done <- Run(counterProgram(8, 5000, &final), Config{Seed: 3, Introspect: in})
+	}()
+
+	var live *RunSnapshot
+	for i := 0; i < 400 && live == nil; i++ {
+		s := in.Snapshot(50 * time.Millisecond)
+		if len(s.Active) > 0 {
+			live = &s.Active[0]
+		} else {
+			// Give the background run a beat to register its slot.
+			time.Sleep(time.Millisecond)
+		}
+		select {
+		case res := <-done:
+			if res.Deadlock != nil || res.Aborted {
+				t.Fatalf("background run failed: %+v", res)
+			}
+			done <- res // keep for the drain below
+			i = 400     // run ended; stop polling
+		default:
+		}
+	}
+	if live == nil {
+		t.Skip("run completed before a live snapshot could be requested")
+	}
+	if live.Done {
+		t.Error("live snapshot marked done")
+	}
+	if live.Policy == "" || live.Threads == nil {
+		t.Errorf("live snapshot incomplete: %+v", live)
+	}
+	if live.Step <= 0 {
+		t.Errorf("live snapshot at step %d, want > 0", live.Step)
+	}
+	<-done
+	if final != 8*5000 {
+		t.Fatalf("counter = %d, want %d", final, 8*5000)
+	}
+}
+
+// postponeStub wraps a policy with a fixed postponed-set report.
+type postponeStub struct {
+	Policy
+	postponed []event.ThreadID
+}
+
+func (p postponeStub) PostponedThreads() []event.ThreadID { return p.postponed }
+
+func TestIntrospectorReportsPostponedThreads(t *testing.T) {
+	in := NewIntrospector()
+	var final int
+	pol := postponeStub{Policy: NewRandomPolicy(), postponed: []event.ThreadID{1}}
+	Run(counterProgram(2, 3, &final), Config{Seed: 5, Policy: pol, Introspect: in})
+	last := in.Snapshot(time.Second).LastCompleted
+	if last == nil {
+		t.Fatal("no final snapshot")
+	}
+	var sawPostponed bool
+	for _, ts := range last.Threads {
+		if ts.ID == 1 && ts.Postponed {
+			sawPostponed = true
+		}
+		if ts.ID != 1 && ts.Postponed {
+			t.Errorf("thread %v postponed, reporter only named 1", ts.ID)
+		}
+	}
+	if !sawPostponed {
+		t.Fatal("postponed thread not reflected in snapshot")
+	}
+}
+
+func TestIntrospectorNilSafety(t *testing.T) {
+	var in *Introspector
+	if s := in.Snapshot(time.Millisecond); len(s.Active) != 0 || s.LastCompleted != nil {
+		t.Fatalf("nil introspector returned state: %+v", s)
+	}
+	in.unregister(nil, nil)
+	if slot := in.register(); slot != nil {
+		t.Fatal("nil introspector handed out a slot")
+	}
+	// A run with no introspector costs only the nil check — and works.
+	var final int
+	res := Run(counterProgram(2, 2, &final), Config{Seed: 9})
+	if res.Deadlock != nil || final != 4 {
+		t.Fatalf("plain run broken: %+v, final %d", res, final)
+	}
+}

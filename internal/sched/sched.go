@@ -73,6 +73,12 @@ type Config struct {
 	// order. Nil disables decision recording at the cost of one nil check
 	// per round.
 	Flight FlightObserver
+	// Introspect, when non-nil, registers the execution for live read-only
+	// state snapshots (the observatory's /debug/sched): the controller
+	// checks one atomic flag per round and publishes an immutable
+	// RunSnapshot only when a reader requested one. Nil costs a single nil
+	// check per round and never perturbs the schedule.
+	Introspect *Introspector
 }
 
 // Exception records a model-level exception that killed a thread (the
@@ -146,8 +152,10 @@ type Scheduler struct {
 	locks    []lockState
 	locNames []string
 
-	flight FlightObserver
-	rounds int
+	flight    FlightObserver
+	rounds    int
+	inspSlot  *runSlot
+	finalSnap *RunSnapshot // captured at loop exit, before teardown
 
 	steps       int
 	inFlight    int
@@ -198,6 +206,18 @@ func Run(main func(*Thread), cfg Config) *Result {
 	var start time.Time
 	if s.metrics != nil {
 		start = time.Now()
+	}
+	if cfg.Introspect != nil {
+		s.inspSlot = cfg.Introspect.register()
+		defer func() {
+			// Prefer the snapshot captured at loop exit: shutdown has since
+			// unwound any blocked threads.
+			final := s.finalSnap
+			if final == nil {
+				final = s.buildSnapshot(true)
+			}
+			cfg.Introspect.unregister(s.inspSlot, final)
+		}()
 	}
 	s.startThread("main", main)
 	s.loop()
@@ -260,8 +280,13 @@ func (s *Scheduler) loop() {
 	s.awaitQuiescence()
 	emptyRounds := 0
 	for {
+		s.pollIntrospect()
 		enabled := s.enabledThreads()
 		if len(enabled) == 0 {
+			// Capture the final introspection snapshot before shutdown: the
+			// teardown unwinds blocked threads, which would erase the very
+			// wait-for graph a deadlock snapshot exists to show.
+			s.finalizeIntrospect()
 			if alive := s.aliveThreads(); len(alive) > 0 {
 				s.recordDeadlock(alive)
 				s.shutdown()
@@ -269,6 +294,7 @@ func (s *Scheduler) loop() {
 			return
 		}
 		if s.steps >= s.maxSteps {
+			s.finalizeIntrospect()
 			s.shutdown()
 			return
 		}
