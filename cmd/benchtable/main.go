@@ -41,6 +41,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		verify  = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
 		trDir   = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
+		pfDir   = flag.String("perfdir", "", "export a Perfetto timeline of each target's first confirming trial into this directory")
 		workers = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (tables are identical at any setting)")
 
 		corpusDir = flag.String("corpusdir", "", "persist confirmed findings (dedup, coverage, witnesses) in this corpus directory")
@@ -115,9 +116,10 @@ func main() {
 		}
 		rows := harness.RunAdaptiveCampaign(list, harness.CampaignOptions{
 			Seed: *seed, Budget: *budget, Rounds: *rounds, Workers: *workers,
-			Corpus: store, TraceDir: traceDir,
+			Corpus: store, TraceDir: traceDir, PerfDir: *pfDir,
 			Metrics: obsv.Campaign(), Sink: obsv.Sink(),
 			Gauges: obsv.Registry(), Introspect: obsv.Introspector(),
+			Prof: obsv.Prof(),
 		})
 		fmt.Println(harness.RenderCampaign(rows))
 		saveCorpus()
@@ -127,8 +129,9 @@ func main() {
 	if !*only {
 		rows := harness.RunTable1(list, harness.Options{
 			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timing,
-			TraceDir: *trDir, Workers: *workers, Corpus: store,
+			TraceDir: *trDir, PerfDir: *pfDir, Workers: *workers, Corpus: store,
 			Metrics: obsv.Campaign(), Sink: obsv.Sink(), Introspect: obsv.Introspector(),
+			Prof: obsv.Prof(),
 		})
 		if *csv {
 			fmt.Print(harness.CSVTable1(rows))

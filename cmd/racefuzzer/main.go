@@ -28,7 +28,10 @@
 // progress lines to stderr, and -cpuprofile/-memprofile write pprof
 // profiles of the campaign. -http serves the live campaign observatory (see
 // README "Live monitoring"): an embedded dashboard, Prometheus /metrics,
-// an SSE /events stream, and /debug/sched scheduler-state snapshots.
+// an SSE /events stream, /debug/sched scheduler-state snapshots, and
+// /debug/perf scheduler latency aggregates. -perfdir exports a Perfetto
+// timeline (Chrome trace-event JSON, open in https://ui.perfetto.dev) of
+// each target's first confirming trial.
 package main
 
 import (
@@ -66,6 +69,7 @@ func main() {
 		explain = flag.Bool("explain", false, "with -replay: render the race-explanation timeline of the replayed run")
 		explTr  = flag.String("explaintrace", "", "explain a saved flight recording (*.trace.jsonl) and exit")
 		trDir   = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
+		pfDir   = flag.String("perfdir", "", "export a Perfetto timeline (Chrome trace-event JSON) of each target's first confirming trial into this directory")
 		dlMode  = flag.Bool("deadlocks", false, "run the deadlock-directed pipeline instead of races")
 		atMode  = flag.Bool("atomicity", false, "run the atomicity-directed pipeline instead of races")
 		workers = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (reports are identical at any setting)")
@@ -184,6 +188,7 @@ func main() {
 		MaxSteps:     b.MaxSteps,
 		Label:        b.Name,
 		TraceDir:     traceDir,
+		PerfDir:      *pfDir,
 		Workers:      *workers,
 		Corpus:       store,
 	}
@@ -245,6 +250,10 @@ func main() {
 		opts.Metrics = campaign
 	}
 	opts.Introspect = obsv.Introspector()
+	// The observatory's perf collector aggregates every execution into
+	// /debug/perf; nil (no -http) profiles nothing, costing one predicted
+	// branch per probe site.
+	opts.Prof = obsv.Prof()
 	var sinks obs.MultiSink
 	var jsonl *obs.JSONLSink
 	if *jsonLog != "" {
@@ -329,10 +338,12 @@ func main() {
 			Workers:    *workers,
 			Corpus:     store,
 			TraceDir:   traceDir,
+			PerfDir:    *pfDir,
 			Metrics:    campaign,
 			Sink:       opts.Sink,
 			Gauges:     obsv.Registry(),
 			Introspect: obsv.Introspector(),
+			Prof:       obsv.Prof(),
 		})
 		fmt.Print(harness.RenderCampaign(rows))
 		finishObservers()
@@ -346,6 +357,7 @@ func main() {
 		for _, r := range reps {
 			fmt.Printf("  %v\n", r)
 			printWitness(r.TracePath, r.TraceErr)
+			printPerf(r.PerfPath, r.PerfErr)
 		}
 		finishObservers()
 		return
@@ -356,6 +368,7 @@ func main() {
 		for _, r := range reps {
 			fmt.Printf("  %v\n", r)
 			printWitness(r.TracePath, r.TraceErr)
+			printPerf(r.PerfPath, r.PerfErr)
 		}
 		finishObservers()
 		return
@@ -434,6 +447,7 @@ func main() {
 				fmt.Printf("      replay an exception-throwing run with: -pair %d -replay %d\n", i, rep.FirstExceptionSeed)
 			}
 			printWitness(rep.TracePath, rep.TraceErr)
+			printPerf(rep.PerfPath, rep.PerfErr)
 		}
 	}
 	fmt.Printf("\nsummary: %d potential, %d real, %d with exceptions (paper row: %d potential, %d real)\n",
@@ -450,5 +464,17 @@ func printWitness(path string, err error) {
 	}
 	if path != "" {
 		fmt.Printf("      witness trace: %s (render with -explaintrace %s)\n", path, path)
+	}
+}
+
+// printPerf reports an exported Perfetto timeline (or a failed export) under
+// a target's verdict line.
+func printPerf(path string, err error) {
+	if err != nil {
+		fmt.Printf("      perf export failed: %v\n", err)
+		return
+	}
+	if path != "" {
+		fmt.Printf("      perf timeline: %s (open in https://ui.perfetto.dev)\n", path)
 	}
 }

@@ -1,0 +1,193 @@
+package benchsnap
+
+import (
+	"fmt"
+	"time"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/core"
+	"racefuzzer/internal/sched"
+	"racefuzzer/internal/schedprof"
+)
+
+// SuiteOptions parameterizes a suite run.
+type SuiteOptions struct {
+	// Seed is the base seed for every measured execution (default 12345 —
+	// the repository's experiment seed).
+	Seed int64
+	// Benchtime is the minimum timed span per measurement (default 200ms).
+	Benchtime time.Duration
+	// Note is carried verbatim into the snapshot.
+	Note string
+}
+
+func (o SuiteOptions) withDefaults() SuiteOptions {
+	if o.Seed == 0 {
+		o.Seed = 12345
+	}
+	if o.Benchtime <= 0 {
+		o.Benchtime = 200 * time.Millisecond
+	}
+	return o
+}
+
+// Suites names the suites cmd/benchsnap can run.
+func Suites() []string { return []string{"sched", "parallel"} }
+
+// RunSuite dispatches by suite name. The returned timeline (may be nil) is
+// a Perfetto-exportable sample trial for CI failure artifacts.
+func RunSuite(suite string, o SuiteOptions) (*Snapshot, *schedprof.Timeline, error) {
+	switch suite {
+	case "sched":
+		s, tl := SchedSuite(o)
+		return s, tl, nil
+	case "parallel":
+		return ParallelSuite(o), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown suite %q (have %v)", suite, Suites())
+	}
+}
+
+// schedWorkloads are the grant-loop micro-workloads (bench/micro.go): one
+// enabled thread, two alternating, and a wide fan-out. Step counts differ
+// per shape, so each result also reports steps/op and ns/step.
+var schedWorkloads = []struct {
+	name string
+	prog func() bench.Program
+}{
+	{"grant_serial/ops=256", func() bench.Program { return bench.GrantSerial(256) }},
+	{"grant_ping/rounds=64", func() bench.Program { return bench.GrantPing(64) }},
+	{"grant_fanout/threads=8,ops=16", func() bench.Program { return bench.GrantFanout(8, 16) }},
+}
+
+// SchedSuite measures the scheduler substrate: the grant-loop micros with
+// profiling off (the product configuration), the serial micro again with a
+// schedprof trial attached (so the probes' cost is itself a tracked number),
+// and a profiled pass over every workload that yields the per-op-kind
+// wait/service latency quantiles. The returned timeline is one profiled
+// fan-out trial, exportable as a Perfetto trace.
+func SchedSuite(o SuiteOptions) (*Snapshot, *schedprof.Timeline) {
+	o = o.withDefaults()
+	snap := &Snapshot{
+		Schema: SchemaVersion,
+		Suite:  "sched",
+		Description: "Scheduler grant-loop micro-benchmarks (bench/micro.go workloads) " +
+			"with per-op-kind latency quantiles from a schedprof-profiled pass. " +
+			"allocs_per_op regressions are hard CI failures; ns_per_op drift warns.",
+		Benchtime: o.Benchtime.String(),
+		Note:      o.Note,
+	}
+
+	for _, w := range schedWorkloads {
+		w := w
+		var steps int
+		var i int64
+		res := Measure(w.name, o.Benchtime, func() {
+			r := sched.Run(w.prog(), sched.Config{Seed: o.Seed + i, Policy: sched.NewRandomPolicy()})
+			steps = r.Steps
+			i++
+		})
+		res.Metrics = map[string]float64{
+			"steps_per_op": float64(steps),
+			"ns_per_step":  res.NsPerOp / float64(steps),
+		}
+		snap.Results = append(snap.Results, res)
+	}
+
+	// The serial micro with profiling on: the delta against grant_serial is
+	// the whole probe cost, tracked release over release. A collector-backed
+	// trial is reused through the pool exactly as campaigns use it.
+	prof := schedprof.NewCollector()
+	{
+		var steps int
+		var i int64
+		res := Measure("grant_serial_profiled/ops=256", o.Benchtime, func() {
+			tr := prof.StartTrial("benchsnap", o.Seed+i)
+			r := sched.Run(bench.GrantSerial(256), sched.Config{
+				Seed: o.Seed + i, Policy: sched.NewRandomPolicy(), Prof: tr,
+			})
+			prof.FinishTrial(tr)
+			steps = r.Steps
+			i++
+		})
+		res.Metrics = map[string]float64{
+			"steps_per_op": float64(steps),
+			"ns_per_step":  res.NsPerOp / float64(steps),
+		}
+		snap.Results = append(snap.Results, res)
+	}
+
+	// Latency quantiles: a fixed profiled pass over every workload shape
+	// (fresh collector so the measurement loop above doesn't skew counts).
+	lat := schedprof.NewCollector()
+	const latTrials = 20
+	var timeline *schedprof.Timeline
+	for _, w := range schedWorkloads {
+		for i := 0; i < latTrials; i++ {
+			tr := lat.StartTrial(w.name, o.Seed+int64(i))
+			sched.Run(w.prog(), sched.Config{Seed: o.Seed + int64(i), Policy: sched.NewRandomPolicy(), Prof: tr})
+			if timeline == nil && w.name == schedWorkloads[len(schedWorkloads)-1].name {
+				timeline = tr.Timeline()
+			}
+			lat.FinishTrial(tr)
+		}
+	}
+	sum := lat.Summary()
+	snap.SchedSummary = &sum
+	return snap, timeline
+}
+
+// ParallelSuite measures the full two-phase pipeline on jigsaw (the
+// registry's widest phase-2 grid) at increasing campaign-executor widths —
+// the benchsnap form of BenchmarkAnalyzeParallel, with allocs/op tracked.
+// Reports are bit-identical at every width; only wall-clock and the pool's
+// allocation overhead change.
+func ParallelSuite(o SuiteOptions) *Snapshot {
+	o = o.withDefaults()
+	bm := bench.MustByName("jigsaw")
+	snap := &Snapshot{
+		Schema: SchemaVersion,
+		Suite:  "parallel",
+		Description: "Full two-phase pipeline on the jigsaw model (phase-2 grid x 50 trials) " +
+			"at increasing campaign-executor widths. Reports are bit-identical at every " +
+			"width (TestParallelDeterminismRace); only wall-clock may change.",
+		Benchtime:      o.Benchtime.String(),
+		Note:           o.Note,
+		SpeedupVsWidth: map[string]float64{},
+	}
+	widths := []struct {
+		name string
+		w    int
+	}{{"workers=1", 1}, {"workers=2", 2}, {"workers=numcpu", -1}}
+	var seqNs float64
+	for _, cfg := range widths {
+		cfg := cfg
+		real := 0
+		res := Measure(cfg.name, o.Benchtime, func() {
+			rep := core.Analyze(bm.New(), core.Options{
+				Seed:         o.Seed,
+				Phase1Trials: bm.Phase1Trials,
+				Phase2Trials: 50,
+				MaxSteps:     bm.MaxSteps,
+				Workers:      cfg.w,
+			})
+			real = rep.RealCount()
+		})
+		res.Metrics = map[string]float64{"real_races": float64(real)}
+		snap.Results = append(snap.Results, res)
+		if cfg.w == 1 {
+			seqNs = res.NsPerOp
+		} else if res.NsPerOp > 0 {
+			snap.SpeedupVsWidth[cfg.name] = roundTo(seqNs/res.NsPerOp, 2)
+		}
+	}
+	return snap
+}
+
+func roundTo(v float64, digits int) float64 {
+	scale := 1.0
+	for i := 0; i < digits; i++ {
+		scale *= 10
+	}
+	return float64(int64(v*scale+0.5)) / scale
+}

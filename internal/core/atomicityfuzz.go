@@ -30,6 +30,7 @@ func DetectAtomicityTargets(prog Program, o Options) []AtomicityTarget {
 			if o.observing() {
 				rm = obs.NewRunMetrics()
 			}
+			tr := o.Prof.StartTrial(o.Label, o.Seed+int64(i))
 			res := sched.Run(prog, sched.Config{
 				Seed:       o.Seed + int64(i),
 				Policy:     sched.NewRandomPolicy(),
@@ -37,7 +38,9 @@ func DetectAtomicityTargets(prog Program, o Options) []AtomicityTarget {
 				MaxSteps:   o.MaxSteps,
 				Metrics:    rm,
 				Introspect: o.Introspect,
+				Prof:       tr,
 			})
+			o.Prof.FinishTrial(tr)
 			return obsRun{cands: det.Candidates(), res: res}
 		},
 		func(i int, r obsRun) {
@@ -83,6 +86,10 @@ type AtomicityReport struct {
 	// occurred); TraceErr reports a failed capture attempt.
 	TracePath string
 	TraceErr  error
+	// PerfPath is the Perfetto timeline exported for the first violating
+	// trial (see PairReport.PerfPath); PerfErr reports a failed export.
+	PerfPath string
+	PerfErr  error
 	// Known reports that the confirmed violation's signature was already in
 	// the campaign's corpus (see PairReport.Known).
 	Known bool
@@ -127,10 +134,12 @@ func atomicityTrial(prog Program, target AtomicityTarget, targetIndex, i int, o 
 	if o.observing() {
 		rm = obs.NewRunMetrics()
 	}
+	tr := o.Prof.StartTrial(o.Label, seed)
 	res := sched.Run(prog, sched.Config{
 		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
-		Metrics: rm, Introspect: o.Introspect,
+		Metrics: rm, Introspect: o.Introspect, Prof: tr,
 	})
+	o.Prof.FinishTrial(tr)
 	return atomicityTrialResult{res: res, violations: pol.Violations()}
 }
 
@@ -153,6 +162,7 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 	rep, o := &a.rep, a.o
 	seed := pairSeed(o.Seed, a.targetIndex+9_000_000, i)
 	tracePath := ""
+	perfPath := ""
 	finding := ""
 	if len(r.violations) > 0 {
 		rep.ViolationRuns++
@@ -178,6 +188,11 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 					o.Corpus.AttachWitness(sig, tracePath)
 				}
 			}
+			if o.PerfDir != "" {
+				_, tl := ProfileAtomicityRun(a.prog, rep.Target, seed, o)
+				perfPath, rep.PerfErr = savePerf(tl, o.perfPath("atomicity", a.targetIndex, i))
+				rep.PerfPath = perfPath
+			}
 		}
 		if len(r.res.Exceptions) > 0 {
 			rep.ExceptionRuns++
@@ -192,6 +207,7 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 			rec.StepsToRace = r.violations[0].Step
 		}
 		rec.Trace = tracePath
+		rec.Perf = perfPath
 		rec.Finding = finding
 		o.emit(rec)
 	}

@@ -54,6 +54,7 @@ func DetectPotentialDeadlocksWithPolicy(prog Program, o Options, pol sched.Polic
 			if o.observing() {
 				rm = obs.NewRunMetrics()
 			}
+			tr := o.Prof.StartTrial(o.Label, o.Seed+int64(i))
 			res := sched.Run(prog, sched.Config{
 				Seed:       o.Seed + int64(i),
 				Policy:     p,
@@ -61,7 +62,9 @@ func DetectPotentialDeadlocksWithPolicy(prog Program, o Options, pol sched.Polic
 				MaxSteps:   o.MaxSteps,
 				Metrics:    rm,
 				Introspect: o.Introspect,
+				Prof:       tr,
 			})
+			o.Prof.FinishTrial(tr)
 			return obsRun{cycles: det.Cycles(), res: res}
 		},
 		func(i int, r obsRun) {
@@ -106,6 +109,10 @@ type DeadlockReport struct {
 	// occurred); TraceErr reports a failed capture attempt.
 	TracePath string
 	TraceErr  error
+	// PerfPath is the Perfetto timeline exported for the first deadlocking
+	// trial (see PairReport.PerfPath); PerfErr reports a failed export.
+	PerfPath string
+	PerfErr  error
 	// Known reports that the confirmed deadlock's signature was already in
 	// the campaign's corpus (see PairReport.Known).
 	Known bool
@@ -145,10 +152,13 @@ func deadlockTrial(prog Program, target [2]event.LockID, cycleIndex, i int, o Op
 		rm = obs.NewRunMetrics()
 	}
 	seed := pairSeed(o.Seed, cycleIndex+7_000_000, i)
-	return sched.Run(prog, sched.Config{
+	tr := o.Prof.StartTrial(o.Label, seed)
+	res := sched.Run(prog, sched.Config{
 		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
-		Metrics: rm, Introspect: o.Introspect,
+		Metrics: rm, Introspect: o.Introspect, Prof: tr,
 	})
+	o.Prof.FinishTrial(tr)
+	return res
 }
 
 // deadlockAgg folds ConfirmDeadlock trial results in trial order.
@@ -173,6 +183,7 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 	seed := pairSeed(o.Seed, a.cycleIndex+7_000_000, i)
 	hit := res.Deadlock != nil && deadlockInvolves(res.Deadlock, a.target)
 	tracePath := ""
+	perfPath := ""
 	finding := ""
 	if hit {
 		rep.DeadlockRuns++
@@ -194,6 +205,11 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 					o.Corpus.AttachWitness(sig, tracePath)
 				}
 			}
+			if o.PerfDir != "" {
+				_, tl := ProfileDeadlockRun(a.prog, a.target, seed, o)
+				perfPath, rep.PerfErr = savePerf(tl, o.perfPath("deadlock", a.cycleIndex, i))
+				rep.PerfPath = perfPath
+			}
 		}
 	}
 	if o.observing() {
@@ -205,6 +221,7 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 			rec.StepsToRace = res.Deadlock.Step
 		}
 		rec.Trace = tracePath
+		rec.Perf = perfPath
 		rec.Finding = finding
 		o.emit(rec)
 	}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/sched"
+	"racefuzzer/internal/schedprof"
+)
+
+// Profiled variants of the phase-2 runs, mirroring the Record* family
+// (record.go): each Profile* function re-executes the exact run its plain
+// counterpart would run for the same seed with a standalone schedprof trial
+// attached, and returns the trial's timeline for Perfetto export. Because a
+// run is a pure function of (program, policy, seed) and profiling is
+// passive, the profiled execution IS the original execution — the same
+// identity that makes witness auto-capture sound makes perf capture sound.
+
+// ProfileRace is FuzzRun with a performance timeline attached.
+func ProfileRace(prog Program, pair event.StmtPair, seed int64, o Options) (*RunReport, *schedprof.Timeline) {
+	pol := &RaceFuzzerPolicy{Target: pair, MaxPostponeAge: o.MaxPostponeAge}
+	tr := schedprof.NewTrial(o.Label, seed, 0)
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
+		Name: fmt.Sprintf("racefuzzer%v", pair),
+		Prof: tr,
+	})
+	return &RunReport{Seed: seed, Result: res, Races: pol.Races(), RaceCreated: pol.RaceCreated()}, tr.Timeline()
+}
+
+// ProfileDeadlockRun is one ConfirmDeadlock trial with a performance
+// timeline attached.
+func ProfileDeadlockRun(prog Program, target [2]event.LockID, seed int64, o Options) (*sched.Result, *schedprof.Timeline) {
+	pol := NewDeadlockDirectedPolicy()
+	pol.TargetLocks = &target
+	pol.MaxPostponeAge = o.MaxPostponeAge
+	tr := schedprof.NewTrial(o.Label, seed, 0)
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Prof: tr,
+	})
+	return res, tr.Timeline()
+}
+
+// ProfileAtomicityRun is one ConfirmAtomicity trial with a performance
+// timeline attached.
+func ProfileAtomicityRun(prog Program, target AtomicityTarget, seed int64, o Options) (*sched.Result, *schedprof.Timeline) {
+	pol := NewAtomicityDirectedPolicy(target)
+	pol.MaxPostponeAge = o.MaxPostponeAge
+	tr := schedprof.NewTrial(o.Label, seed, 0)
+	res := sched.Run(prog, sched.Config{
+		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps, Prof: tr,
+	})
+	return res, tr.Timeline()
+}
+
+// perfPath names an exported performance timeline inside o.PerfDir:
+// <label>-<kind>-p<target>-t<trial>.perf.json.
+func (o Options) perfPath(kind string, targetIndex, trial int) string {
+	return filepath.Join(o.PerfDir,
+		fmt.Sprintf("%s-%s-p%d-t%d.perf.json", sanitizeLabel(o.Label), kind, targetIndex, trial))
+}
+
+// savePerf saves a timeline as Chrome trace-event JSON and reports the path
+// ("" plus the error when saving failed; export failures never fail the
+// campaign).
+func savePerf(tl *schedprof.Timeline, path string) (string, error) {
+	if err := tl.SaveFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

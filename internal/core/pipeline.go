@@ -10,6 +10,7 @@ import (
 	"racefuzzer/internal/hybrid"
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
+	"racefuzzer/internal/schedprof"
 )
 
 // Program is a model program: the body of its main thread. Everything the
@@ -72,6 +73,20 @@ type Options struct {
 	// one atomic load per scheduling round when attached, one nil check
 	// when not; never perturbs schedules.
 	Introspect *sched.Introspector
+	// Prof, when non-nil, attaches a pooled schedprof trial to every
+	// execution and folds it back campaign-wide: per-op-kind wait/service
+	// latency, enabled-set sizes, decision rounds and phase timings (the
+	// observatory's /debug/perf). Costs one nil check per probe site when
+	// absent and never perturbs schedules.
+	Prof *schedprof.Collector
+	// PerfDir, when non-empty, exports a performance timeline for the first
+	// confirming trial of each target: the trial is re-run with a
+	// standalone schedprof trial attached — determinism makes the re-run
+	// the same execution — and saved there as a Chrome trace-event
+	// *.perf.json file, loadable in Perfetto or chrome://tracing. The path
+	// is surfaced on the run's record (RunRecord.Perf) and the target's
+	// report.
+	PerfDir string
 }
 
 // observing reports whether per-run telemetry should be collected at all.
@@ -159,6 +174,7 @@ func DetectPotentialRaces(prog Program, o Options) []event.StmtPair {
 			if o.observing() {
 				rm = obs.NewRunMetrics()
 			}
+			tr := o.Prof.StartTrial(o.Label, o.Seed+int64(i))
 			res := sched.Run(prog, sched.Config{
 				Seed:       o.Seed + int64(i),
 				Policy:     sched.NewRandomPolicy(),
@@ -166,7 +182,9 @@ func DetectPotentialRaces(prog Program, o Options) []event.StmtPair {
 				MaxSteps:   o.MaxSteps,
 				Metrics:    rm,
 				Introspect: o.Introspect,
+				Prof:       tr,
 			})
+			o.Prof.FinishTrial(tr)
 			return obsRun{pairs: det.Pairs(), res: res}
 		},
 		func(i int, r obsRun) {
@@ -203,12 +221,15 @@ func FuzzRun(prog Program, pair event.StmtPair, seed int64, o Options) *RunRepor
 		rm = obs.NewRunMetrics()
 		pol.Metrics = rm
 	}
+	tr := o.Prof.StartTrial(o.Label, seed)
 	res := sched.Run(prog, sched.Config{
 		Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
 		Name:       fmt.Sprintf("racefuzzer%v", pair),
 		Metrics:    rm,
 		Introspect: o.Introspect,
+		Prof:       tr,
 	})
+	o.Prof.FinishTrial(tr)
 	return &RunReport{Seed: seed, Result: res, Races: pol.Races(), RaceCreated: pol.RaceCreated()}
 }
 
@@ -265,6 +286,11 @@ type PairReport struct {
 	// created); TraceErr reports a failed capture attempt.
 	TracePath string
 	TraceErr  error
+	// PerfPath is the Perfetto timeline exported for the first race-creating
+	// trial ("" unless Options.PerfDir was set and a race was created);
+	// PerfErr reports a failed export attempt.
+	PerfPath string
+	PerfErr  error
 	// Known reports that the confirmed race's signature was already in the
 	// campaign's corpus (always false without Options.Corpus or when the
 	// pair was not confirmed). Known findings skip witness auto-capture.
@@ -340,6 +366,7 @@ func (a *pairAgg) add(i int, run *RunReport) {
 	rep.TotalSteps += int64(run.Result.Steps)
 	firstRaceStep := -1
 	tracePath := ""
+	perfPath := ""
 	finding := ""
 	if run.RaceCreated {
 		firstRaceStep = run.Races[0].Step
@@ -361,6 +388,11 @@ func (a *pairAgg) add(i int, run *RunReport) {
 				if tracePath != "" {
 					o.Corpus.AttachWitness(sig, tracePath)
 				}
+			}
+			if o.PerfDir != "" {
+				_, tl := ProfileRace(a.prog, rep.Pair, seed, o)
+				perfPath, rep.PerfErr = savePerf(tl, o.perfPath("race", a.pairIndex, i))
+				rep.PerfPath = perfPath
 			}
 		}
 		if len(run.Result.Exceptions) > 0 {
@@ -389,6 +421,7 @@ func (a *pairAgg) add(i int, run *RunReport) {
 		rec.Races = len(run.Races)
 		rec.StepsToRace = firstRaceStep
 		rec.Trace = tracePath
+		rec.Perf = perfPath
 		rec.Finding = finding
 		o.emit(rec)
 	}
@@ -463,10 +496,12 @@ func FuzzSet(prog Program, pairs []event.StmtPair, o Options) SetReport {
 				rm = obs.NewRunMetrics()
 				pol.Metrics = rm
 			}
+			tr := o.Prof.StartTrial(o.Label, seed)
 			res := sched.Run(prog, sched.Config{
 				Seed: seed, Policy: pol, MaxSteps: o.MaxSteps,
-				Metrics: rm, Introspect: o.Introspect,
+				Metrics: rm, Introspect: o.Introspect, Prof: tr,
 			})
+			o.Prof.FinishTrial(tr)
 			return setRun{res: res, races: pol.Races(), created: pol.RaceCreated()}
 		},
 		func(i int, r setRun) {

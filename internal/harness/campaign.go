@@ -9,6 +9,7 @@ import (
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/report"
 	"racefuzzer/internal/sched"
+	"racefuzzer/internal/schedprof"
 )
 
 // The adaptive budget campaign: instead of giving every registry target the
@@ -50,6 +51,12 @@ type CampaignOptions struct {
 	// Introspect, when non-nil, exposes live scheduler state to the
 	// observatory's /debug/sched (see core.Options.Introspect).
 	Introspect *sched.Introspector
+	// Prof, when non-nil, profiles every pipeline execution into the
+	// observatory's /debug/perf collector (see core.Options.Prof).
+	Prof *schedprof.Collector
+	// PerfDir, when non-empty, exports a Perfetto timeline of each target's
+	// first confirming trial there (see core.Options.PerfDir).
+	PerfDir string
 }
 
 func (o CampaignOptions) withDefaults() CampaignOptions {
@@ -168,6 +175,8 @@ func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, store *corpus.
 		Sink:         o.Sink,
 		Corpus:       store,
 		Introspect:   o.Introspect,
+		Prof:         o.Prof,
+		PerfDir:      o.PerfDir,
 	}
 	if opts.Phase1Trials <= 0 {
 		opts.Phase1Trials = 3

@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"racefuzzer/internal/bench"
@@ -17,6 +18,7 @@ import (
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/report"
 	"racefuzzer/internal/sched"
+	"racefuzzer/internal/schedprof"
 )
 
 // Options parameterizes a Table-1 regeneration run.
@@ -51,6 +53,13 @@ type Options struct {
 	// Introspect, when non-nil, exposes live scheduler state to the
 	// observatory's /debug/sched (core.Options.Introspect).
 	Introspect *sched.Introspector
+	// Prof, when non-nil, attaches a scheduler performance trial to every
+	// pipeline execution (core.Options.Prof) — the collector behind the
+	// observatory's /debug/perf.
+	Prof *schedprof.Collector
+	// PerfDir, when non-empty, exports a Perfetto timeline of each target's
+	// first confirming trial there (core.Options.PerfDir).
+	PerfDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +99,15 @@ type Row struct {
 	// plus the single racing pair (§4).
 	HybridTracked int // MEM events processed by the hybrid detector
 	RFTracked     int // target-statement encounters in one RaceFuzzer run
+
+	// Pipeline cost columns: the full two-phase campaign's wall-clock and
+	// heap-allocation cost, normalized per executed trial (phase-1
+	// observations + every phase-2 run). Wall clock is machine-local;
+	// allocs/run is a property of the code and is what CI's perf-smoke gates
+	// on (see internal/benchsnap).
+	PipelineRuns         int
+	PipelineNsPerRun     float64
+	PipelineAllocsPerRun float64
 
 	// FirstRaceRun is the index, within this benchmark's pipeline campaign,
 	// of the first run that confirmed a race (-1 when none did) — the "how
@@ -154,6 +172,8 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 		Workers:      o.Workers,
 		Corpus:       o.Corpus,
 		Introspect:   o.Introspect,
+		Prof:         o.Prof,
+		PerfDir:      o.PerfDir,
 	}
 	var sinks obs.MultiSink
 	if o.Metrics != nil {
@@ -165,7 +185,25 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 	if len(sinks) > 0 {
 		opts.Sink = sinks
 	}
+	// The pipeline's cost columns: wall clock and heap allocations across the
+	// whole campaign, divided by executed trials. Mallocs is read
+	// process-wide because the campaign executor's workers allocate on the
+	// pipeline's behalf.
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	pipeStart := time.Now()
 	rep := core.Analyze(b.New(), opts)
+	pipeNs := time.Since(pipeStart).Nanoseconds()
+	runtime.ReadMemStats(&m1)
+	p1 := opts.Phase1Trials
+	if p1 <= 0 {
+		p1 = 3 // the pipeline default (core.Options.withDefaults)
+	}
+	row.PipelineRuns = p1 + len(rep.Potential)*o.Phase2Trials
+	if row.PipelineRuns > 0 {
+		row.PipelineNsPerRun = float64(pipeNs) / float64(row.PipelineRuns)
+		row.PipelineAllocsPerRun = float64(m1.Mallocs-m0.Mallocs) / float64(row.PipelineRuns)
+	}
 	row.Potential = len(rep.Potential)
 	row.Real = rep.RealCount()
 	row.ExceptionPairs = rep.ExceptionPairCount()
@@ -220,6 +258,7 @@ func RenderTable1(rows []Row) string {
 		"Table 1 (reproduced): measured on this machine's models",
 		"Program", "Normal(s)", "Hybrid(s)", "RF(s)", "Tracked(H)", "Tracked(RF)",
 		"Hybrid#", "RF(real)", "Exceptions", "Simple", "Prob", "FirstRace", "Traces",
+		"ns/run", "allocs/run",
 	)
 	for _, r := range rows {
 		prob := report.Num(r.Probability)
@@ -234,7 +273,8 @@ func RenderTable1(rows []Row) string {
 			report.Secs(r.NormalSec), report.Secs(r.HybridSec), report.Secs(r.RFSec),
 			r.HybridTracked, r.RFTracked,
 			r.Potential, r.Real, r.ExceptionPairs, r.SimpleExceptions, prob,
-			first, r.TraceCaptures)
+			first, r.TraceCaptures,
+			int64(r.PipelineNsPerRun), int64(r.PipelineAllocsPerRun))
 	}
 	return t.Render()
 }

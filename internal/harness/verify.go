@@ -63,13 +63,13 @@ func VerifyAll(rows []Row) (string, bool) {
 // CSVTable1 renders measured rows as CSV (for plotting tools).
 func CSVTable1(rows []Row) string {
 	var b strings.Builder
-	b.WriteString("program,normal_s,hybrid_s,rf_s,tracked_hybrid,tracked_rf,potential,real,exception_pairs,simple_exceptions,probability,first_race_run,trace_captures\n")
+	b.WriteString("program,normal_s,hybrid_s,rf_s,tracked_hybrid,tracked_rf,potential,real,exception_pairs,simple_exceptions,probability,first_race_run,trace_captures,ns_per_run,allocs_per_run\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%d,%.0f,%.0f\n",
 			r.Name, report.Secs(r.NormalSec), report.Secs(r.HybridSec), report.Secs(r.RFSec),
 			r.HybridTracked, r.RFTracked,
 			r.Potential, r.Real, r.ExceptionPairs, r.SimpleExceptions, report.Num(r.Probability),
-			r.FirstRaceRun, r.TraceCaptures)
+			r.FirstRaceRun, r.TraceCaptures, r.PipelineNsPerRun, r.PipelineAllocsPerRun)
 	}
 	return b.String()
 }

@@ -55,6 +55,9 @@ type RunRecord struct {
 	// Trace is the path of the flight recording auto-captured for this run
 	// (set on the first confirming run of a target when capture is enabled).
 	Trace string `json:"trace,omitempty"`
+	// Perf is the path of the Perfetto timeline exported for this run (set
+	// on the first confirming run of a target when Options.PerfDir is set).
+	Perf string `json:"perf,omitempty"`
 	// Finding classifies a target's first confirming run against the race
 	// corpus: "new" (signature never seen before) or "known" (deduplicated
 	// re-sighting). Empty on non-confirming runs and corpus-less campaigns.

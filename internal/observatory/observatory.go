@@ -6,6 +6,7 @@
 //	/metrics     Prometheus text-format exposition of the obs metric state
 //	/events      a Server-Sent-Events stream of run records and findings
 //	/debug/sched JSON snapshots of live scheduler state (wait-for graph)
+//	/debug/perf  JSON schedprof aggregates (per-op-kind latency quantiles)
 //	/healthz     liveness probe
 //
 // Design constraints, in order:
@@ -35,6 +36,7 @@ import (
 
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
+	"racefuzzer/internal/schedprof"
 )
 
 //go:embed dashboard.html
@@ -64,6 +66,7 @@ type Server struct {
 	reg   *obs.Registry
 	bc    *obs.Broadcast
 	insp  *sched.Introspector
+	prof  *schedprof.Collector
 	start time.Time
 
 	mu      sync.Mutex
@@ -102,6 +105,7 @@ func New(cfg Config) *Server {
 		reg:     obs.NewRegistry(),
 		bc:      obs.NewBroadcast(),
 		insp:    sched.NewIntrospector(),
+		prof:    schedprof.NewCollector(),
 		targets: make(map[targetKey]*targetCount),
 		start:   time.Now(),
 	}
@@ -130,6 +134,15 @@ func (s *Server) Introspector() *sched.Introspector {
 		return nil
 	}
 	return s.insp
+}
+
+// Prof returns the scheduler performance collector that feeds /debug/perf
+// (nil when off, and nil collectors hand out nil trials all the way down).
+func (s *Server) Prof() *schedprof.Collector {
+	if s == nil {
+		return nil
+	}
+	return s.prof
 }
 
 // Sink returns the sink that feeds the event stream and the per-target
@@ -186,6 +199,7 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/debug/sched", s.handleSched)
+	mux.HandleFunc("/debug/perf", s.handlePerf)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -348,4 +362,14 @@ func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(snap) //nolint:errcheck // best-effort write to client
+}
+
+// handlePerf serves the schedprof campaign aggregates: per-op-kind
+// wait/service latency quantiles, enabled-set sizes, round counts and phase
+// timings.
+func (s *Server) handlePerf(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.prof.Summary()) //nolint:errcheck // best-effort write to client
 }

@@ -17,6 +17,7 @@ import (
 	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/sched"
+	"racefuzzer/internal/schedprof"
 )
 
 // startServer boots an observatory on an ephemeral port and tears it down
@@ -140,6 +141,7 @@ func TestObservatoryServesLiveCampaign(t *testing.T) {
 		Sink:         s.Sink(),
 		Corpus:       corpus.NewStore(),
 		Introspect:   s.Introspector(),
+		Prof:         s.Prof(),
 	}
 	rep := core.Analyze(b.New(), opts)
 	if len(rep.Potential) == 0 {
@@ -192,6 +194,32 @@ func TestObservatoryServesLiveCampaign(t *testing.T) {
 	}
 	if !snap.LastCompleted.Done || snap.LastCompleted.Policy == "" {
 		t.Errorf("completed snapshot malformed: %+v", snap.LastCompleted)
+	}
+
+	// /debug/perf: live schedprof aggregates with per-op-kind latency
+	// quantiles, covering every execution of the campaign.
+	pbody, presp := httpGet(t, base+"/debug/perf")
+	if ct := presp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/perf Content-Type = %q", ct)
+	}
+	var perf schedprof.Summary
+	if err := json.Unmarshal([]byte(pbody), &perf); err != nil {
+		t.Fatalf("/debug/perf not JSON: %v\n%s", err, pbody)
+	}
+	if want := int64(opts.Phase1Trials + len(rep.Potential)*opts.Phase2Trials); perf.Trials != want {
+		t.Errorf("/debug/perf trials = %d, want %d", perf.Trials, want)
+	}
+	if perf.Grants == 0 || len(perf.Ops) == 0 {
+		t.Fatalf("/debug/perf has no latency data: %s", pbody)
+	}
+	sampled := false
+	for _, op := range perf.Ops {
+		if op.Count > 0 && op.Service.P99 > 0 {
+			sampled = true
+		}
+	}
+	if !sampled {
+		t.Errorf("/debug/perf quantiles all zero: %s", pbody)
 	}
 
 	// Dashboard and liveness.
@@ -288,7 +316,7 @@ func TestObservatorySchedEndpointShowsDeadlock(t *testing.T) {
 // sites wire the observatory unconditionally.
 func TestObservatoryNilServerIsInert(t *testing.T) {
 	var s *Server
-	if s.Campaign() != nil || s.Registry() != nil || s.Introspector() != nil {
+	if s.Campaign() != nil || s.Registry() != nil || s.Introspector() != nil || s.Prof() != nil {
 		t.Error("nil server handed out live wiring")
 	}
 	if s.Sink() != nil {

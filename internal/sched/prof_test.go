@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"racefuzzer/internal/schedprof"
+)
+
+// TestProfKindNamesAligned pins the contract between sched and schedprof:
+// schedprof cannot import sched (sched imports schedprof), so it carries
+// its own op-kind name table, which must stay in lockstep with OpKind.
+func TestProfKindNamesAligned(t *testing.T) {
+	if schedprof.NumOpKinds != int(OpInterrupt)+1 {
+		t.Fatalf("schedprof.NumOpKinds = %d, want %d (OpInterrupt+1)",
+			schedprof.NumOpKinds, int(OpInterrupt)+1)
+	}
+	for k := OpBegin; k <= OpInterrupt; k++ {
+		if got, want := schedprof.KindName(int(k)), k.String(); got != want {
+			t.Errorf("kind %d: schedprof name %q != sched name %q", int(k), got, want)
+		}
+	}
+}
+
+// TestProfCapturesEveryGrant runs a real workload with a trial attached and
+// checks the profile matches the execution: one span per scheduler step,
+// correct thread names, monotonic phases.
+func TestProfCapturesEveryGrant(t *testing.T) {
+	var final int
+	tr := schedprof.NewTrial("counter", 11, 0)
+	res := Run(counterProgram(3, 10, &final), Config{Seed: 11, Prof: tr})
+	if final != 30 {
+		t.Fatalf("counter = %d, want 30", final)
+	}
+	if got := tr.Spans(); got != int64(res.Steps) {
+		t.Fatalf("profiled %d spans, scheduler ran %d steps", got, res.Steps)
+	}
+	tl := tr.Timeline()
+	if len(tl.Threads) != res.Threads {
+		t.Fatalf("timeline has %d threads, run created %d", len(tl.Threads), res.Threads)
+	}
+	if tl.Threads[0] != "main" || tl.Threads[1] != "w0" {
+		t.Fatalf("thread names = %v", tl.Threads)
+	}
+	if !(tl.Phase[schedprof.PhaseLoopEnter] <= tl.Phase[schedprof.PhaseLoopExit] &&
+		tl.Phase[schedprof.PhaseLoopExit] <= tl.Phase[schedprof.PhaseDone] &&
+		tl.Phase[schedprof.PhaseDone] > 0) {
+		t.Fatalf("phase marks not monotonic: %v", tl.Phase)
+	}
+	// Per-kind counts must reflect the program: 3 forks, 3 joins, and a
+	// lock/read/write/unlock quartet per increment.
+	counts := map[string]int64{}
+	for _, sp := range tl.Spans {
+		counts[schedprof.KindName(int(sp.Kind))]++
+	}
+	for kind, want := range map[string]int64{
+		"fork": 3, "join": 3, "lock": 30, "unlock": 30, "write": 30, "begin": 4,
+	} {
+		if counts[kind] != want {
+			t.Errorf("%s grants = %d, want %d (all: %v)", kind, counts[kind], want, counts)
+		}
+	}
+	for i, sp := range tl.Spans {
+		if sp.Step != int32(i+1) {
+			t.Fatalf("span %d carries step %d, want %d", i, sp.Step, i+1)
+		}
+		if sp.DurNs < 0 || sp.WaitNs < 0 || sp.StartNs < 0 {
+			t.Fatalf("span %d has negative time: %+v", i, sp)
+		}
+	}
+}
+
+// TestProfWaitLatencyIsLive pins the park→grant wait measurement: every
+// thread parks before its op is granted, so waits must be positive on real
+// clocks. Regression test for reading t.parkedNs after the granted thread
+// had already re-parked (which made every wait negative, clamped to zero).
+func TestProfWaitLatencyIsLive(t *testing.T) {
+	var final int
+	tr := schedprof.NewTrial("wait", 7, 0)
+	Run(counterProgram(3, 10, &final), Config{Seed: 7, Prof: tr})
+	tl := tr.Timeline()
+	if len(tl.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	var zero int
+	for _, sp := range tl.Spans {
+		if sp.WaitNs == 0 {
+			zero++
+		}
+	}
+	// Every grant follows a park, so a dead probe shows as all-zero waits.
+	// Individual spans may legitimately round to 0 on a coarse clock, but
+	// the whole trial cannot.
+	if zero == len(tl.Spans) {
+		t.Fatalf("all %d spans have WaitNs == 0: wait probe is dead", len(tl.Spans))
+	}
+}
+
+// TestProfDoesNotPerturbSchedule replays the same seed with and without a
+// trial attached; the event streams must be identical (profiling draws no
+// randomness and takes no scheduling decisions).
+func TestProfDoesNotPerturbSchedule(t *testing.T) {
+	run := func(prof *schedprof.Trial) []string {
+		var final int
+		rec := &recorder{}
+		Run(counterProgram(3, 10, &final), Config{Seed: 99, Observers: []Observer{rec}, Prof: prof})
+		return rec.lines
+	}
+	plain := run(nil)
+	profiled := run(schedprof.NewTrial("p", 99, 0))
+	if len(plain) != len(profiled) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(profiled))
+	}
+	for i := range plain {
+		if plain[i] != profiled[i] {
+			t.Fatalf("event %d differs:\n  plain:    %s\n  profiled: %s", i, plain[i], profiled[i])
+		}
+	}
+}
+
+// TestProfCollectorOnRealRuns drives pooled collector trials through real
+// executions and sanity-checks the aggregate.
+func TestProfCollectorOnRealRuns(t *testing.T) {
+	c := schedprof.NewCollector()
+	for seed := int64(0); seed < 5; seed++ {
+		var final int
+		tr := c.StartTrial(fmt.Sprintf("run%d", seed), seed)
+		Run(counterProgram(2, 5, &final), Config{Seed: seed, Prof: tr})
+		c.FinishTrial(tr)
+	}
+	s := c.Summary()
+	if s.Trials != 5 {
+		t.Fatalf("Trials = %d, want 5", s.Trials)
+	}
+	if s.Grants == 0 || s.Rounds == 0 || len(s.Ops) == 0 {
+		t.Fatalf("empty summary from real runs: %+v", s)
+	}
+	if s.EnabledMax < 1 {
+		t.Fatalf("EnabledMax = %d", s.EnabledMax)
+	}
+	if len(s.Phases) != 3 {
+		t.Fatalf("Phases = %+v, want startup/loop/teardown", s.Phases)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sched
+
+const raceDetectorEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package sched
+
+// raceDetectorEnabled reports whether the test binary was built with -race,
+// which instruments every call and invalidates ns-level timing assertions.
+const raceDetectorEnabled = true

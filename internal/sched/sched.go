@@ -27,6 +27,7 @@ import (
 	"racefuzzer/internal/lockset"
 	"racefuzzer/internal/obs"
 	"racefuzzer/internal/rng"
+	"racefuzzer/internal/schedprof"
 )
 
 // ErrIllegalMonitorState is thrown (as a model exception) when a thread
@@ -79,6 +80,13 @@ type Config struct {
 	// RunSnapshot only when a reader requested one. Nil costs a single nil
 	// check per round and never perturbs the schedule.
 	Introspect *Introspector
+	// Prof, when non-nil, records the run's performance timeline: per-grant
+	// wait and service latency, enabled-set sizes, decision rounds and
+	// phase marks (internal/schedprof). Recording is clock reads plus
+	// writes into the trial's preallocated rings on the controller
+	// goroutine, so it never perturbs the schedule; nil costs one nil check
+	// per probe site, mirroring Metrics/Flight/Introspect.
+	Prof *schedprof.Trial
 }
 
 // Exception records a model-level exception that killed a thread (the
@@ -153,6 +161,7 @@ type Scheduler struct {
 	locNames []string
 
 	flight    FlightObserver
+	prof      *schedprof.Trial
 	rounds    int
 	inspSlot  *runSlot
 	finalSnap *RunSnapshot // captured at loop exit, before teardown
@@ -195,6 +204,7 @@ func Run(main func(*Thread), cfg Config) *Result {
 	}
 	s.observers = append(s.observers, cfg.Observers...)
 	s.flight = cfg.Flight
+	s.prof = cfg.Prof
 	if o, ok := cfg.Flight.(Observer); ok {
 		s.observers = append(s.observers, o)
 	}
@@ -220,13 +230,23 @@ func Run(main func(*Thread), cfg Config) *Result {
 		}()
 	}
 	s.startThread("main", main)
+	if s.prof != nil {
+		s.prof.Mark(schedprof.PhaseLoopEnter)
+	}
 	s.loop()
+	if s.prof != nil {
+		s.prof.Mark(schedprof.PhaseLoopExit)
+	}
 	if s.metrics != nil {
 		s.metrics.SetWall(time.Since(start))
 		s.metrics.SetSteps(s.steps)
 		s.metrics.SetSwitches(s.switches)
 	}
-	return s.result()
+	res := s.result()
+	if s.prof != nil {
+		s.prof.Mark(schedprof.PhaseDone)
+	}
+	return res
 }
 
 // NewLoc allocates a fresh shared-memory location. Called by the conc
@@ -270,6 +290,9 @@ func (s *Scheduler) startThread(name string, body func(*Thread)) *Thread {
 	}
 	t.intrLoc = s.NewLoc(fmt.Sprintf("%s(T%d).interrupt", name, len(s.threads)))
 	s.threads = append(s.threads, t)
+	if s.prof != nil {
+		s.prof.ThreadName(int(t.id), name)
+	}
 	s.inFlight++
 	go t.run(body)
 	return t
@@ -304,6 +327,9 @@ func (s *Scheduler) loop() {
 		view := &View{sched: s, Step: s.steps, Enabled: enabled}
 		dec := s.policy.Step(view, s.rng)
 		s.recordDecision(enabled, dec.Grants, false)
+		if s.prof != nil {
+			s.prof.Round(len(enabled), len(dec.Grants))
+		}
 		if len(dec.Grants) == 0 {
 			emptyRounds++
 			// A policy may legitimately return no grants for a round while it
@@ -313,6 +339,9 @@ func (s *Scheduler) loop() {
 				s.stalls++
 				forced := enabled[s.rng.Intn(len(enabled))]
 				s.recordDecision(enabled, []event.ThreadID{forced}, true)
+				if s.prof != nil {
+					s.prof.ForcedGrant()
+				}
 				s.grant(forced)
 				emptyRounds = 0
 			}
@@ -351,6 +380,14 @@ func (s *Scheduler) recordDecision(enabled, grants []event.ThreadID, forced bool
 func (s *Scheduler) grant(tid event.ThreadID) {
 	t := s.threads[tid]
 	op := t.pending
+	var grantAt, parkedAt int64
+	if s.prof != nil {
+		// parkedAt must be read now: once the thread is resumed below it
+		// re-parks during awaitQuiescence and overwrites t.parkedNs with a
+		// post-grant stamp.
+		grantAt = s.prof.Clock()
+		parkedAt = t.parkedNs
+	}
 	s.steps++
 	if tid != s.lastGranted {
 		if s.lastGranted != event.NoThread {
@@ -500,6 +537,11 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 	s.inFlight++
 	t.resume <- struct{}{}
 	s.awaitQuiescence()
+	if s.prof != nil {
+		// Wait is park->grant; service is grant->quiescence (the op's effect
+		// plus the thread's uninstrumented run to its next yield).
+		s.prof.Grant(int(op.Kind), int(tid), s.steps, grantAt, grantAt-parkedAt, s.prof.Clock()-grantAt)
+	}
 }
 
 // awaitQuiescence receives parks until no model goroutine is unblocked.
@@ -512,6 +554,9 @@ func (s *Scheduler) awaitQuiescence() {
 // handlePark processes one park (or exit) notification from a thread.
 func (s *Scheduler) handlePark(t *Thread) {
 	s.inFlight--
+	if s.prof != nil {
+		t.parkedNs = s.prof.Clock()
+	}
 	if t.exitedFlag {
 		s.threadDied(t)
 		return

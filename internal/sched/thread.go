@@ -101,6 +101,11 @@ type Thread struct {
 	// used to attribute exceptions to program points.
 	lastStmt event.Stmt
 
+	// parkedNs is the profiler clock at the thread's most recent park,
+	// stamped by handlePark only when a schedprof trial is attached; grant
+	// reads it to compute park->grant wait latency.
+	parkedNs int64
+
 	// Interrupt machinery (Java Thread.interrupt semantics). intrLoc is the
 	// thread's interrupt-status memory location (accesses to it are
 	// instrumented, so interrupt races are detectable); the booleans are

@@ -1,0 +1,155 @@
+package schedprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Timeline is an immutable copy of one trial's span ring, unwrapped into
+// chronological order, plus the metadata a trace viewer needs. Build it
+// with Trial.Timeline before handing the trial back to a collector.
+type Timeline struct {
+	Name    string
+	Seed    int64
+	Threads []string
+	Spans   []Span
+	Phase   [int(numPhases)]int64
+	Dropped int64
+}
+
+// Timeline snapshots the trial (nil trial: nil timeline). When the ring
+// wrapped, the timeline holds the most recent len(ring) spans and Dropped
+// counts the overwritten prefix.
+func (t *Trial) Timeline() *Timeline {
+	if t == nil {
+		return nil
+	}
+	cap64 := int64(len(t.ring))
+	m := t.n
+	if m > cap64 {
+		m = cap64
+	}
+	tl := &Timeline{
+		Name:    t.name,
+		Seed:    t.seed,
+		Threads: append([]string(nil), t.threads...),
+		Spans:   make([]Span, m),
+		Dropped: t.n - m,
+	}
+	copy(tl.Phase[:], t.phase[:])
+	first := t.n - m // index of the oldest surviving span
+	for i := int64(0); i < m; i++ {
+		tl.Spans[i] = t.ring[(first+i)%cap64]
+	}
+	return tl
+}
+
+// traceEvent is one Chrome trace-event object ("X" complete slices and "M"
+// metadata). Timestamps and durations are microseconds, per the format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the Chrome trace-event format, the
+// shape Perfetto and chrome://tracing load directly.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	tracePid = 1
+	// schedTid is the synthetic scheduler track; model thread T(i) renders
+	// as tid i+1.
+	schedTid = 0
+)
+
+func metaEvent(name string, tid int, args map[string]any) traceEvent {
+	return traceEvent{Name: name, Ph: "M", Pid: tracePid, Tid: tid, Args: args}
+}
+
+const usPerNs = 1e-3
+
+// WriteTrace writes the timeline as Chrome trace-event JSON: one track per
+// model thread (a wait slice while parked, then the op's service slice)
+// plus a scheduler track carrying the trial's startup/loop/teardown phases.
+func (tl *Timeline) WriteTrace(w io.Writer) error {
+	if tl == nil {
+		return fmt.Errorf("schedprof: nil timeline")
+	}
+	evs := make([]traceEvent, 0, 2*len(tl.Spans)+2*len(tl.Threads)+8)
+	evs = append(evs, metaEvent("process_name", schedTid,
+		map[string]any{"name": fmt.Sprintf("racefuzzer trial %q seed=%d", tl.Name, tl.Seed)}))
+	evs = append(evs, metaEvent("thread_name", schedTid, map[string]any{"name": "scheduler"}))
+	evs = append(evs, metaEvent("thread_sort_index", schedTid, map[string]any{"sort_index": 0}))
+	for id, name := range tl.Threads {
+		tid := id + 1
+		evs = append(evs, metaEvent("thread_name", tid,
+			map[string]any{"name": fmt.Sprintf("T%d %s", id, name)}))
+		evs = append(evs, metaEvent("thread_sort_index", tid, map[string]any{"sort_index": tid}))
+	}
+	if tl.Phase[PhaseDone] > 0 {
+		bounds := [][2]int64{
+			{0, tl.Phase[PhaseLoopEnter]},
+			{tl.Phase[PhaseLoopEnter], tl.Phase[PhaseLoopExit]},
+			{tl.Phase[PhaseLoopExit], tl.Phase[PhaseDone]},
+		}
+		for p, b := range bounds {
+			evs = append(evs, traceEvent{
+				Name: phaseNames[p], Cat: "phase", Ph: "X",
+				Ts: float64(b[0]) * usPerNs, Dur: float64(b[1]-b[0]) * usPerNs,
+				Pid: tracePid, Tid: schedTid,
+			})
+		}
+	}
+	for _, sp := range tl.Spans {
+		tid := int(sp.Thread) + 1
+		kind := KindName(int(sp.Kind))
+		if sp.WaitNs > 0 {
+			evs = append(evs, traceEvent{
+				Name: "wait:" + kind, Cat: "wait", Ph: "X",
+				Ts: float64(sp.StartNs-sp.WaitNs) * usPerNs, Dur: float64(sp.WaitNs) * usPerNs,
+				Pid: tracePid, Tid: tid,
+				Args: map[string]any{"step": sp.Step},
+			})
+		}
+		evs = append(evs, traceEvent{
+			Name: kind, Cat: "op", Ph: "X",
+			Ts: float64(sp.StartNs) * usPerNs, Dur: float64(sp.DurNs) * usPerNs,
+			Pid: tracePid, Tid: tid,
+			Args: map[string]any{"step": sp.Step, "waitNs": sp.WaitNs, "serviceNs": sp.DurNs},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// SaveFile writes the timeline's trace to path, creating parent
+// directories (so a -perfdir that does not exist yet just works).
+func (tl *Timeline) SaveFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,144 @@
+package schedprof_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"racefuzzer/internal/schedprof"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTimeline builds a fixed, clock-free timeline so the exported trace
+// is byte-stable across runs.
+func goldenTimeline() *schedprof.Timeline {
+	tr := schedprof.NewTrial("figure1", 42, 16)
+	tr.ThreadName(0, "main")
+	tr.ThreadName(1, "worker")
+	// kind ints follow sched's OpKind order: 0 begin, 3 lock, 2 write, 4 unlock.
+	tr.Grant(0, 0, 1, 1_000, 500, 2_000)
+	tr.Grant(9, 0, 2, 4_000, 1_000, 3_000) // fork
+	tr.Grant(0, 1, 3, 8_000, 1_000, 1_500)
+	tr.Grant(3, 1, 4, 10_000, 500, 2_500)
+	tr.Grant(2, 1, 5, 13_000, 0, 1_000)
+	tr.Grant(4, 1, 6, 15_000, 1_000, 1_000)
+	tr.Grant(10, 0, 7, 17_000, 13_000, 2_000) // join
+	tl := tr.Timeline()
+	tl.Phase[schedprof.PhaseLoopEnter] = 800
+	tl.Phase[schedprof.PhaseLoopExit] = 19_500
+	tl.Phase[schedprof.PhaseDone] = 20_000
+	return tl
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTimeline().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from %s (regenerate with -update)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestTraceIsValidChromeTraceJSON checks the structural contract Perfetto
+// and chrome://tracing rely on: a traceEvents array of objects that each
+// carry name/ph/pid/tid, with complete ("X") events adding ts and dur.
+func TestTraceIsValidChromeTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTimeline().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("traceEvents is empty")
+	}
+	sawSlice, sawMeta, threadNames := 0, 0, map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			sawSlice++
+			ts, tsOK := ev["ts"].(float64)
+			if !tsOK || ts < 0 {
+				t.Fatalf("event %d: bad ts %v", i, ev["ts"])
+			}
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("event %d: X event without numeric dur: %v", i, ev)
+			}
+		case "M":
+			sawMeta++
+			if ev["name"] == "thread_name" {
+				args := ev["args"].(map[string]any)
+				threadNames[args["name"].(string)] = true
+			}
+		default:
+			t.Fatalf("event %d: unexpected phase %v", i, ev["ph"])
+		}
+	}
+	if sawSlice == 0 || sawMeta == 0 {
+		t.Fatalf("trace lacks slices (%d) or metadata (%d)", sawSlice, sawMeta)
+	}
+	// One track per thread plus the scheduler track.
+	for _, want := range []string{"scheduler", "T0 main", "T1 worker"} {
+		if !threadNames[want] {
+			t.Errorf("missing thread_name %q (have %v)", want, threadNames)
+		}
+	}
+}
+
+func TestSaveFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trial.perf.json")
+	if err := goldenTimeline().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("saved trace is not valid JSON")
+	}
+}
+
+// SaveFile must create missing parent directories: -perfdir points at a
+// directory that typically does not exist yet when the first confirming
+// trial exports.
+func TestSaveFileCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perf", "nested", "trial.perf.json")
+	if err := goldenTimeline().SaveFile(path); err != nil {
+		t.Fatalf("SaveFile into missing directory: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("saved trace is not valid JSON")
+	}
+}

@@ -1,0 +1,220 @@
+package schedprof_test
+
+import (
+	"sync"
+	"testing"
+
+	"racefuzzer/internal/schedprof"
+)
+
+func TestKindNameRange(t *testing.T) {
+	if got := schedprof.KindName(-1); got != "op(?)" {
+		t.Errorf("KindName(-1) = %q", got)
+	}
+	if got := schedprof.KindName(schedprof.NumOpKinds); got != "op(?)" {
+		t.Errorf("KindName(NumOpKinds) = %q", got)
+	}
+	seen := map[string]bool{}
+	for k := 0; k < schedprof.NumOpKinds; k++ {
+		name := schedprof.KindName(k)
+		if name == "" || name == "op(?)" || seen[name] {
+			t.Errorf("KindName(%d) = %q (empty or duplicate)", k, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := schedprof.NewTrial("wrap", 7, 8)
+	for i := 0; i < 20; i++ {
+		tr.Grant(1 /* read */, 0, i+1, int64(i*1000), 100, 200)
+	}
+	if got := tr.Spans(); got != 20 {
+		t.Fatalf("Spans() = %d, want 20", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("Dropped() = %d, want 12", got)
+	}
+	tl := tr.Timeline()
+	if len(tl.Spans) != 8 {
+		t.Fatalf("timeline holds %d spans, want 8 (ring capacity)", len(tl.Spans))
+	}
+	if tl.Dropped != 12 {
+		t.Fatalf("timeline Dropped = %d, want 12", tl.Dropped)
+	}
+	// The survivors are the 8 most recent grants, in chronological order.
+	for i, sp := range tl.Spans {
+		wantStep := int32(13 + i)
+		if sp.Step != wantStep {
+			t.Errorf("span %d: step %d, want %d", i, sp.Step, wantStep)
+		}
+	}
+}
+
+func TestTimelineBeforeWraparound(t *testing.T) {
+	tr := schedprof.NewTrial("small", 1, 16)
+	tr.ThreadName(0, "main")
+	tr.ThreadName(1, "child")
+	for i := 0; i < 5; i++ {
+		tr.Grant(i%schedprof.NumOpKinds, i%2, i+1, int64(i*10), int64(i), int64(i*2))
+	}
+	tl := tr.Timeline()
+	if len(tl.Spans) != 5 || tl.Dropped != 0 {
+		t.Fatalf("got %d spans, dropped %d; want 5, 0", len(tl.Spans), tl.Dropped)
+	}
+	if len(tl.Threads) != 2 || tl.Threads[1] != "child" {
+		t.Fatalf("threads = %v", tl.Threads)
+	}
+	for i := 1; i < len(tl.Spans); i++ {
+		if tl.Spans[i].StartNs < tl.Spans[i-1].StartNs {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+}
+
+func TestOutOfRangeKindDropped(t *testing.T) {
+	tr := schedprof.NewTrial("bad", 1, 8)
+	tr.Grant(schedprof.NumOpKinds, 0, 1, 0, 0, 0)
+	tr.Grant(-3, 0, 2, 0, 0, 0)
+	if got := tr.Spans(); got != 0 {
+		t.Fatalf("out-of-range kinds recorded %d spans", got)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := schedprof.NewCollector()
+	for trial := 0; trial < 3; trial++ {
+		tr := c.StartTrial("agg", int64(trial))
+		tr.Mark(schedprof.PhaseLoopEnter)
+		for i := 0; i < 10; i++ {
+			tr.Grant(2 /* write */, 0, i+1, int64(i*100), 50, 150)
+			tr.Round(2, 1)
+		}
+		tr.Round(3, 0) // one empty round
+		tr.ForcedGrant()
+		tr.Mark(schedprof.PhaseLoopExit)
+		tr.Mark(schedprof.PhaseDone)
+		c.FinishTrial(tr)
+	}
+	s := c.Summary()
+	if s.Trials != 3 {
+		t.Fatalf("Trials = %d, want 3", s.Trials)
+	}
+	if s.Grants != 30 || s.SampledSpans != 30 || s.DroppedSpans != 0 {
+		t.Fatalf("Grants/Sampled/Dropped = %d/%d/%d, want 30/30/0", s.Grants, s.SampledSpans, s.DroppedSpans)
+	}
+	if s.Rounds != 33 || s.EmptyRounds != 3 || s.ForcedGrants != 3 {
+		t.Fatalf("Rounds/Empty/Forced = %d/%d/%d, want 33/3/3", s.Rounds, s.EmptyRounds, s.ForcedGrants)
+	}
+	if len(s.Ops) != 1 || s.Ops[0].Kind != "write" || s.Ops[0].Count != 30 {
+		t.Fatalf("Ops = %+v", s.Ops)
+	}
+	op := s.Ops[0]
+	if op.Wait.MeanNs != 50 || op.Service.MeanNs != 150 {
+		t.Fatalf("means = %v / %v, want 50 / 150 (exact from totals)", op.Wait.MeanNs, op.Service.MeanNs)
+	}
+	if s.EnabledMax != 3 || s.EnabledMean <= 2 || s.EnabledMean >= 3 {
+		t.Fatalf("enabled mean/max = %v/%d", s.EnabledMean, s.EnabledMax)
+	}
+	if len(s.Phases) != 3 || s.Phases[0].Phase != "startup" || s.Phases[1].Count != 3 {
+		t.Fatalf("Phases = %+v", s.Phases)
+	}
+}
+
+func TestSummaryQuantileOrdering(t *testing.T) {
+	c := schedprof.NewCollector()
+	tr := c.StartTrial("q", 1)
+	for i := 1; i <= 1000; i++ {
+		tr.Grant(3 /* lock */, 0, i, int64(i), int64(i*10), int64(i*100))
+	}
+	c.FinishTrial(tr)
+	op := c.Summary().Ops[0]
+	for _, l := range []schedprof.LatencySummary{op.Wait, op.Service} {
+		if !(l.P50 <= l.P90 && l.P90 <= l.P99 && l.P99 <= l.MaxNs) {
+			t.Fatalf("quantiles out of order: %+v", l)
+		}
+		if l.P50 <= 0 {
+			t.Fatalf("zero p50: %+v", l)
+		}
+	}
+	if op.Service.MaxNs != 100_000 {
+		t.Fatalf("service max = %v, want 100000", op.Service.MaxNs)
+	}
+}
+
+func TestCollectorConcurrentTrials(t *testing.T) {
+	c := schedprof.NewCollector()
+	const workers, trialsPer, grantsPer = 8, 25, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < trialsPer; i++ {
+				tr := c.StartTrial("conc", int64(w*1000+i))
+				tr.ThreadName(0, "main")
+				tr.Mark(schedprof.PhaseLoopEnter)
+				for g := 0; g < grantsPer; g++ {
+					tr.Grant(g%schedprof.NumOpKinds, 0, g+1, int64(g), 10, 20)
+					tr.Round(1, 1)
+				}
+				tr.Mark(schedprof.PhaseLoopExit)
+				tr.Mark(schedprof.PhaseDone)
+				c.FinishTrial(tr)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Summary()
+	if want := int64(workers * trialsPer); s.Trials != want {
+		t.Fatalf("Trials = %d, want %d", s.Trials, want)
+	}
+	if want := int64(workers * trialsPer * grantsPer); s.Grants != want || s.SampledSpans != want {
+		t.Fatalf("Grants = %d, Sampled = %d, want %d", s.Grants, s.SampledSpans, want)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *schedprof.Collector
+	tr := c.StartTrial("nil", 1)
+	if tr != nil {
+		t.Fatalf("nil collector handed out a trial")
+	}
+	// Every probe must no-op on a nil trial: these are the scheduler's
+	// guard-free call sites.
+	if tr.Clock() != 0 {
+		t.Fatal("nil Clock != 0")
+	}
+	tr.ThreadName(0, "x")
+	tr.Round(1, 1)
+	tr.ForcedGrant()
+	tr.Grant(1, 0, 1, 0, 0, 0)
+	tr.Mark(schedprof.PhaseDone)
+	if tr.Spans() != 0 || tr.Dropped() != 0 || tr.Timeline() != nil {
+		t.Fatal("nil trial not inert")
+	}
+	c.FinishTrial(tr)
+	s := c.Summary()
+	if s.Trials != 0 || len(s.Ops) != 0 {
+		t.Fatalf("nil collector summary = %+v", s)
+	}
+	if c.Trials() != 0 {
+		t.Fatal("nil Trials() != 0")
+	}
+}
+
+func TestTrialPoolReuse(t *testing.T) {
+	c := schedprof.NewCollector()
+	t1 := c.StartTrial("a", 1)
+	t1.ThreadName(0, "main")
+	t1.Grant(1, 0, 1, 0, 5, 5)
+	c.FinishTrial(t1)
+	t2 := c.StartTrial("b", 2)
+	if t2.Spans() != 0 {
+		t.Fatalf("reused trial carries %d stale spans", t2.Spans())
+	}
+	if tl := t2.Timeline(); len(tl.Threads) != 0 || len(tl.Spans) != 0 {
+		t.Fatalf("reused trial timeline not empty: %+v", tl)
+	}
+	c.FinishTrial(t2)
+}
