@@ -27,29 +27,40 @@ import (
 
 	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/harness"
+	"racefuzzer/internal/obs"
 	"racefuzzer/internal/observatory"
 )
 
 func main() {
 	var (
-		names   = flag.String("names", "", "comma-separated benchmark names (default: all)")
-		seed    = flag.Int64("seed", 12345, "base seed")
-		trials  = flag.Int("trials", 100, "RaceFuzzer runs per potential pair")
-		timing  = flag.Int("timing-runs", 5, "runs averaged per runtime column")
-		sweep   = flag.Bool("sweep", false, "also run the Figure-2 probability sweep")
-		only    = flag.Bool("sweep-only", false, "run only the Figure-2 sweep")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verify  = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
-		trDir   = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
-		pfDir   = flag.String("perfdir", "", "export a Perfetto timeline of each target's first confirming trial into this directory")
-		workers = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (tables are identical at any setting)")
+		names      = flag.String("names", "", "comma-separated benchmark names (default: all)")
+		seed       = flag.Int64("seed", 12345, "base seed")
+		trials     = flag.Int("trials", 100, "RaceFuzzer runs per potential pair")
+		timingRuns = flag.Int("timing-runs", 5, "runs averaged per runtime column")
+		sweep      = flag.Bool("sweep", false, "also run the Figure-2 probability sweep")
+		only       = flag.Bool("sweep-only", false, "run only the Figure-2 sweep")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify     = flag.Bool("verify", false, "check measured rows against each model's designed ground truth")
+		trDir      = flag.String("tracedir", "", "auto-capture a flight recording of each target's first confirming run into this directory")
+		pfDir      = flag.String("perfdir", "", "export a Perfetto timeline of each target's first confirming trial into this directory")
+		workers    = flag.Int("workers", 0, "trial executor workers: 0 or 1 = sequential, N = pool of N, -1 = GOMAXPROCS (tables are identical at any setting)")
 
 		corpusDir = flag.String("corpusdir", "", "persist confirmed findings (dedup, coverage, witnesses) in this corpus directory")
 		budget    = flag.Int("budget", 0, "run the adaptive campaign instead of Table 1: split this global phase-2 trial budget across the benchmarks")
 		rounds    = flag.Int("rounds", 3, "with -budget: number of adaptive allocation rounds")
 		httpAddr  = flag.String("http", "", "serve the live campaign observatory (dashboard, /metrics, /events, /debug/sched) on this address, e.g. :8080")
+
+		jsonLog   = flag.String("json", "", "write a structured JSONL run log to this file (one record per execution), analyzable with cmd/campaignreport")
+		jsonFlush = flag.Int("jsonflush", 0, "with -json: flush the log every N records so tail -f sees them live (0 = flush only at close)")
+		timing    = flag.Bool("timing", false, "record per-run wall-clock durations (durationNs) in emitted records; off by default so run logs stay byte-identical across repeat runs")
 	)
 	flag.Parse()
+
+	// Provenance: build identity plus the explicitly-set flags, stamped into
+	// the run-log header and the corpus manifest like cmd/racefuzzer.
+	setFlags := map[string]string{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = f.Value.String() })
+	prov := obs.CollectProvenance("benchtable", "benchtable", setFlags)
 
 	// The observatory is nil unless -http was given; every accessor on a nil
 	// server returns nil, and nil probes no-op all the way down.
@@ -96,6 +107,38 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	store.SetProvenance(prov)
+
+	// The JSONL run log and the observatory sink fan in together; the
+	// provenance header leads the log like cmd/racefuzzer's.
+	var jsonl *obs.JSONLSink
+	var sinks obs.MultiSink
+	if *jsonLog != "" {
+		f, err := os.Create(*jsonLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: -json: %v\n", err)
+			os.Exit(1)
+		}
+		jsonl = obs.NewJSONLSink(f).AutoFlush(*jsonFlush).Header(prov)
+		sinks = append(sinks, jsonl)
+	}
+	closeLog := func() {
+		if jsonl == nil {
+			return
+		}
+		if err := jsonl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: -json: %v\n", err)
+		}
+	}
+	defer closeLog()
+	if s := obsv.Sink(); s != nil {
+		sinks = append(sinks, s)
+	}
+	var sink obs.Sink
+	if len(sinks) > 0 {
+		sink = sinks
+	}
+
 	saveCorpus := func() {
 		if store == nil {
 			return
@@ -117,9 +160,9 @@ func main() {
 		rows := harness.RunAdaptiveCampaign(list, harness.CampaignOptions{
 			Seed: *seed, Budget: *budget, Rounds: *rounds, Workers: *workers,
 			Corpus: store, TraceDir: traceDir, PerfDir: *pfDir,
-			Metrics: obsv.Campaign(), Sink: obsv.Sink(),
+			Metrics: obsv.Campaign(), Sink: sink,
 			Gauges: obsv.Registry(), Introspect: obsv.Introspector(),
-			Prof: obsv.Prof(),
+			Prof: obsv.Prof(), Timing: *timing,
 		})
 		fmt.Println(harness.RenderCampaign(rows))
 		saveCorpus()
@@ -128,10 +171,10 @@ func main() {
 
 	if !*only {
 		rows := harness.RunTable1(list, harness.Options{
-			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timing,
+			Seed: *seed, Phase2Trials: *trials, BaselineTrials: *trials, TimingRuns: *timingRuns,
 			TraceDir: *trDir, PerfDir: *pfDir, Workers: *workers, Corpus: store,
-			Metrics: obsv.Campaign(), Sink: obsv.Sink(), Introspect: obsv.Introspector(),
-			Prof: obsv.Prof(),
+			Metrics: obsv.Campaign(), Sink: sink, Introspect: obsv.Introspector(),
+			Prof: obsv.Prof(), Timing: *timing,
 		})
 		if *csv {
 			fmt.Print(harness.CSVTable1(rows))

@@ -32,6 +32,12 @@
 // /debug/perf scheduler latency aggregates. -perfdir exports a Perfetto
 // timeline (Chrome trace-event JSON, open in https://ui.perfetto.dev) of
 // each target's first confirming trial.
+//
+// Analytics flags (see README "Campaign reports"): -report renders the
+// offline campaign report (markdown) from a directory holding a run log
+// and/or corpus, like cmd/campaignreport; -timing opts into per-run
+// durationNs in -json records (off by default so run logs stay
+// byte-identical across repeat runs).
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"racefuzzer/internal/analytics"
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/core"
 	"racefuzzer/internal/corpus"
@@ -79,6 +86,8 @@ func main() {
 		rounds    = flag.Int("rounds", 3, "with -budget: number of adaptive allocation rounds")
 		regress   = flag.Bool("regress", false, "with -corpusdir: replay every stored finding and fail on divergence or signature churn")
 
+		timing     = flag.Bool("timing", false, "record per-run wall-clock durations (durationNs) in emitted records; off by default so run logs stay byte-identical across repeat runs")
+		reportDir  = flag.String("report", "", "analyze a campaign directory (run log and/or corpus) offline and print a markdown report, then exit (see cmd/campaignreport for HTML/CSV)")
 		metrics    = flag.Bool("metrics", false, "print the campaign metrics table after the run")
 		jsonLog    = flag.String("json", "", "write a structured JSONL run log to this file (one record per execution)")
 		jsonFlush  = flag.Int("jsonflush", 0, "with -json: flush the log every N records so tail -f sees them live (0 = flush only at close)")
@@ -114,6 +123,15 @@ func main() {
 		for _, b := range bench.All() {
 			fmt.Printf("%-12s %s\n", b.Name, b.Description)
 		}
+		return
+	}
+	if *reportDir != "" {
+		c, err := analytics.LoadDir(*reportDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(analytics.Markdown(analytics.Analyze(c)))
 		return
 	}
 	if *explTr != "" {
@@ -191,6 +209,7 @@ func main() {
 		PerfDir:      *pfDir,
 		Workers:      *workers,
 		Corpus:       store,
+		Timing:       *timing,
 	}
 	if opts.Phase1Trials == 0 {
 		opts.Phase1Trials = b.Phase1Trials
@@ -254,6 +273,17 @@ func main() {
 	// /debug/perf; nil (no -http) profiles nothing, costing one predicted
 	// branch per probe site.
 	opts.Prof = obsv.Prof()
+	// Provenance: the explicitly-set flags plus the tool's build identity,
+	// stamped into both artifact trails (run-log header, corpus manifest) so
+	// the offline report can attribute what it analyzes.
+	provLabel := *name
+	if provLabel == "" {
+		provLabel = "campaign"
+	}
+	setFlags := map[string]string{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = f.Value.String() })
+	prov := obs.CollectProvenance("racefuzzer", provLabel, setFlags)
+	store.SetProvenance(prov)
 	var sinks obs.MultiSink
 	var jsonl *obs.JSONLSink
 	if *jsonLog != "" {
@@ -262,7 +292,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "racefuzzer: -json: %v\n", err)
 			os.Exit(1)
 		}
-		jsonl = obs.NewJSONLSink(f).AutoFlush(*jsonFlush)
+		jsonl = obs.NewJSONLSink(f).AutoFlush(*jsonFlush).Header(prov)
 		sinks = append(sinks, jsonl)
 	}
 	var prog *obs.Progress
@@ -344,6 +374,7 @@ func main() {
 			Gauges:     obsv.Registry(),
 			Introspect: obsv.Introspector(),
 			Prof:       obsv.Prof(),
+			Timing:     *timing,
 		})
 		fmt.Print(harness.RenderCampaign(rows))
 		finishObservers()

@@ -1,0 +1,141 @@
+package analytics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffReport compares two analyzed campaigns metric by metric — "did the
+// new allocator actually discover more per trial than the old one?".
+type DiffReport struct {
+	NameA, NameB string
+	Metrics      []MetricDelta
+	// Targets lists per-target new-signature deltas for targets present in
+	// either campaign, name-sorted.
+	Targets []TargetDelta
+}
+
+// MetricDelta is one compared metric.
+type MetricDelta struct {
+	Name string
+	A, B float64
+	// Integer marks counts (rendered without decimals).
+	Integer bool
+}
+
+// Delta is B−A.
+func (m MetricDelta) Delta() float64 { return m.B - m.A }
+
+// TargetDelta compares one target's discovery across the two campaigns.
+type TargetDelta struct {
+	Target           string
+	SigsA, SigsB     int
+	CellsA, CellsB   int
+	TrialsA, TrialsB int
+}
+
+// Diff compares two reports. nameA/nameB label the columns (usually the
+// artifact paths the caller loaded).
+func Diff(a, b *Report, nameA, nameB string) *DiffReport {
+	d := &DiffReport{NameA: nameA, NameB: nameB}
+	ta, tb := a.Totals, b.Totals
+	ints := []struct {
+		name string
+		a, b int
+	}{
+		{"runs", ta.Runs, tb.Runs},
+		{"phase-2 trials", ta.Phase2, tb.Phase2},
+		{"confirming runs", ta.Confirming, tb.Confirming},
+		{"new signatures", ta.NewSigs, tb.NewSigs},
+		{"known (dedup)", ta.KnownSigs, tb.KnownSigs},
+		{"new cells", ta.NewCells, tb.NewCells},
+		{"exceptions", ta.Exceptions, tb.Exceptions},
+		{"coverage cells", a.Frontier.Cells, b.Frontier.Cells},
+		{"signatures observed", a.Frontier.Observed, b.Frontier.Observed},
+		{"ttfc targets confirmed", len(a.TTFC.Samples), len(b.TTFC.Samples)},
+		{"ttfc unconfirmed", a.TTFC.Unconfirmed, b.TTFC.Unconfirmed},
+	}
+	for _, m := range ints {
+		d.Metrics = append(d.Metrics, MetricDelta{Name: m.name, A: float64(m.a), B: float64(m.b), Integer: true})
+	}
+	d.Metrics = append(d.Metrics,
+		MetricDelta{Name: "dedup rate", A: ta.DedupRate(), B: tb.DedupRate()},
+		MetricDelta{Name: "ttfc median", A: a.TTFC.Median(), B: b.TTFC.Median()},
+		MetricDelta{Name: "chao1 est. richness", A: a.Frontier.Chao1, B: b.Frontier.Chao1},
+		MetricDelta{Name: "completeness %", A: a.Frontier.Completeness(), B: b.Frontier.Completeness()},
+		MetricDelta{Name: "sigs per 100 trials", A: per100(ta.NewSigs, ta.Phase2), B: per100(tb.NewSigs, tb.Phase2)},
+	)
+	d.Targets = diffTargets(a.Targets, b.Targets)
+	return d
+}
+
+func per100(n, trials int) float64 {
+	if trials == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(trials)
+}
+
+func diffTargets(as, bs []TargetStats) []TargetDelta {
+	byName := map[string]*TargetDelta{}
+	var order []string
+	get := func(name string) *TargetDelta {
+		td := byName[name]
+		if td == nil {
+			td = &TargetDelta{Target: name}
+			byName[name] = td
+			order = append(order, name)
+		}
+		return td
+	}
+	for _, t := range as {
+		td := get(t.Label)
+		td.SigsA, td.CellsA, td.TrialsA = t.NewSigs, t.NewCells, t.Phase2
+	}
+	for _, t := range bs {
+		td := get(t.Label)
+		td.SigsB, td.CellsB, td.TrialsB = t.NewSigs, t.NewCells, t.Phase2
+	}
+	// Union order follows campaign A's target order, then B's extras — both
+	// deterministic — so the table is stable without a sort that would
+	// scramble the campaign's own ordering.
+	out := make([]TargetDelta, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// DiffMarkdown renders the comparison as markdown tables.
+func DiffMarkdown(d *DiffReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Campaign diff\n\nA = `%s`\nB = `%s`\n\n", d.NameA, d.NameB)
+	b.WriteString("| Metric | A | B | Δ (B−A) |\n|---|---:|---:|---:|\n")
+	for _, m := range d.Metrics {
+		if m.Integer {
+			fmt.Fprintf(&b, "| %s | %d | %d | %+d |\n", m.Name, int64(m.A), int64(m.B), int64(m.Delta()))
+		} else {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", m.Name, num(m.A), num(m.B), signedNum(m.Delta()))
+		}
+	}
+	b.WriteString("\n")
+	if len(d.Targets) > 0 {
+		b.WriteString("## Per-target\n\n| Target | Trials A | Trials B | Sigs A | Sigs B | Δ sigs | Cells A | Cells B | Δ cells |\n|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, t := range d.Targets {
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %+d | %d | %d | %+d |\n",
+				t.Target, t.TrialsA, t.TrialsB, t.SigsA, t.SigsB, t.SigsB-t.SigsA,
+				t.CellsA, t.CellsB, t.CellsB-t.CellsA)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// signedNum renders a delta with an explicit sign.
+func signedNum(f float64) string {
+	s := num(f)
+	if f > 0 && !strings.HasPrefix(s, "+") {
+		return "+" + s
+	}
+	return s
+}

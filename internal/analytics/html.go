@@ -1,0 +1,130 @@
+package analytics
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+
+	_ "embed"
+)
+
+//go:embed report.html
+var reportTemplate string
+
+// htmlView is the fully pre-rendered data the HTML template interpolates —
+// charts arrive as ready-made SVG markup, numbers as ready-made strings, so
+// the template stays purely structural and the bytes deterministic.
+type htmlView struct {
+	Title      string
+	Sources    []string
+	Provenance []string
+
+	Totals      []kv
+	DedupRate   string
+	Wall        string
+	SigCurve    template.HTML
+	DedupChart  template.HTML
+	Targets     []TargetStats
+	TTFC        TTFCStats
+	TTFCMedian  string
+	Rounds      []roundView
+	Frontier    FrontierStats
+	Chao1       string
+	Complete    string
+	Audit       []auditView
+	Checks      []checkView
+	Witnesses   []KindCount
+	HasAnalysis bool
+}
+
+type kv struct{ K, V string }
+
+type roundView struct {
+	RoundTrend
+	Name, Rate string
+}
+
+type auditView struct {
+	AuditRow
+	Name, FlagText string
+}
+
+type checkView struct {
+	ReconcileCheck
+	MatchText string
+}
+
+// HTML renders the self-contained report page (inline CSS + inline SVG, no
+// external assets).
+func HTML(r *Report) ([]byte, error) {
+	t, err := template.New("report").Parse(reportTemplate)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: %w", err)
+	}
+	v := buildView(r)
+	var buf bytes.Buffer
+	if err := t.Execute(&buf, v); err != nil {
+		return nil, fmt.Errorf("analytics: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func buildView(r *Report) htmlView {
+	v := htmlView{Title: "Campaign report", HasAnalysis: len(r.Global.Points) > 0}
+	if r.Sources.LogName != "" {
+		s := "run log: " + r.Sources.LogName
+		if r.Sources.LogTruncated {
+			s += " (truncated final line skipped)"
+		}
+		v.Sources = append(v.Sources, s)
+	}
+	if r.Sources.CorpusName != "" {
+		s := "corpus: " + r.Sources.CorpusName
+		if r.Sources.CorpusTruncated {
+			s += " (truncated final line skipped)"
+		}
+		v.Sources = append(v.Sources, s)
+	}
+	if r.Provenance != nil {
+		v.Provenance = append(v.Provenance, "log: "+r.Provenance.String())
+	}
+	if r.CorpusProvenance != nil {
+		v.Provenance = append(v.Provenance, "corpus: "+r.CorpusProvenance.String())
+	}
+	t := r.Totals
+	v.Totals = []kv{
+		{"Runs", fmt.Sprint(t.Runs)},
+		{"Phase 1", fmt.Sprint(t.Phase1)},
+		{"Phase 2", fmt.Sprint(t.Phase2)},
+		{"Confirming", fmt.Sprint(t.Confirming)},
+		{"New signatures", fmt.Sprint(t.NewSigs)},
+		{"Known (dedup)", fmt.Sprint(t.KnownSigs)},
+		{"New cells", fmt.Sprint(t.NewCells)},
+		{"Exceptions", fmt.Sprint(t.Exceptions)},
+		{"Deadlocks", fmt.Sprint(t.Deadlocks)},
+		{"Aborted", fmt.Sprint(t.Aborted)},
+	}
+	v.DedupRate = pct(t.DedupRate())
+	if t.Timed {
+		v.Wall = fmt.Sprintf("%.3fs", float64(t.WallNs)/1e9)
+	}
+	v.SigCurve = template.HTML(discoveryChart(r.Global))
+	v.DedupChart = template.HTML(dedupChart(r.Rounds))
+	v.Targets = r.Targets
+	v.TTFC = r.TTFC
+	v.TTFCMedian = num(r.TTFC.Median())
+	for _, rt := range r.Rounds {
+		v.Rounds = append(v.Rounds, roundView{RoundTrend: rt, Name: roundName(rt.Round), Rate: pct(rt.DedupRate())})
+	}
+	v.Frontier = r.Frontier
+	v.Chao1 = num(r.Frontier.Chao1)
+	v.Complete = num(r.Frontier.Completeness())
+	for _, a := range r.Audit {
+		v.Audit = append(v.Audit, auditView{AuditRow: a, Name: roundName(a.Round), FlagText: dash(a.Flag)})
+	}
+	for _, c := range r.Checks {
+		v.Checks = append(v.Checks, checkView{ReconcileCheck: c, MatchText: yesNo(c.Match())})
+	}
+	v.Witnesses = r.Witnesses
+	return v
+}

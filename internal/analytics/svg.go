@@ -1,0 +1,158 @@
+package analytics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inline-SVG chart rendering for the self-contained HTML report. Everything
+// is formatted with fixed precision so chart bytes are deterministic.
+
+// svgSeries is one polyline on a line chart.
+type svgSeries struct {
+	Name   string
+	Color  string
+	Points []CurvePoint
+	// Cells selects the Cells ordinate instead of Sigs.
+	Cells bool
+}
+
+const (
+	chartW, chartH             = 640, 240
+	padLeft, padRight          = 44, 12
+	padTop, padBottom          = 14, 30
+	plotW                      = chartW - padLeft - padRight
+	plotH                      = chartH - padTop - padBottom
+	axisColor, gridColor       = "#8a93a6", "#e3e7ee"
+	sigColor, cellColor        = "#2563eb", "#d97706"
+	barColorNew, barColorKnown = "#16a34a", "#94a3b8"
+)
+
+// svgNum renders a chart coordinate with one decimal, trailing-zero
+// trimmed — compact and byte-stable.
+func svgNum(f float64) string {
+	s := fmt.Sprintf("%.1f", f)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// discoveryChart renders the cumulative discovery curve (signatures and
+// cells vs trials) as an inline SVG. An empty curve renders a placeholder.
+func discoveryChart(c DiscoveryCurve) string {
+	if len(c.Points) == 0 {
+		return `<p class="empty">No phase-2 trials in the log.</p>`
+	}
+	final := c.Final()
+	maxX := final.Trials
+	maxY := final.Sigs
+	if final.Cells > maxY {
+		maxY = final.Cells
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	series := []svgSeries{
+		{Name: "new signatures", Color: sigColor, Points: c.Points},
+		{Name: "new cells", Color: cellColor, Points: c.Points, Cells: true},
+	}
+	var b strings.Builder
+	openChart(&b, maxX, maxY, "trials", "cumulative")
+	for _, s := range series {
+		b.WriteString(`<polyline fill="none" stroke="` + s.Color + `" stroke-width="2" points="`)
+		// Step curve from the origin: discovery is cumulative, so the line
+		// holds level between points.
+		prevY := plotY(0, maxY)
+		b.WriteString(svgNum(plotX(0, maxX)) + "," + svgNum(prevY))
+		for _, p := range s.Points {
+			y := p.Sigs
+			if s.Cells {
+				y = p.Cells
+			}
+			px, py := plotX(p.Trials, maxX), plotY(y, maxY)
+			b.WriteString(" " + svgNum(px) + "," + svgNum(prevY))
+			b.WriteString(" " + svgNum(px) + "," + svgNum(py))
+			prevY = py
+		}
+		b.WriteString(`"/>`)
+	}
+	legend(&b, []svgSeries{series[0], series[1]})
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// dedupChart renders the per-round new/known stacked bars.
+func dedupChart(rounds []RoundTrend) string {
+	if len(rounds) == 0 {
+		return `<p class="empty">No phase-2 trials in the log.</p>`
+	}
+	maxY := 1
+	for _, r := range rounds {
+		if n := r.NewSigs + r.Known; n > maxY {
+			maxY = n
+		}
+	}
+	var b strings.Builder
+	openChart(&b, len(rounds), maxY, "round", "confirmed sightings")
+	bw := float64(plotW) / float64(len(rounds)) * 0.6
+	for i, r := range rounds {
+		cx := plotX(i, len(rounds)) + float64(plotW)/float64(len(rounds))/2
+		x := cx - bw/2
+		yNew := plotY(r.NewSigs, maxY)
+		hNew := float64(padTop+plotH) - yNew
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>`,
+			svgNum(x), svgNum(yNew), svgNum(bw), svgNum(hNew), barColorNew)
+		yTop := plotY(r.NewSigs+r.Known, maxY)
+		hKnown := yNew - yTop
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>`,
+			svgNum(x), svgNum(yTop), svgNum(bw), svgNum(hKnown), barColorKnown)
+		fmt.Fprintf(&b, `<text x="%s" y="%d" text-anchor="middle" class="tick">%s</text>`,
+			svgNum(cx), chartH-10, roundName(r.Round))
+	}
+	legend(&b, []svgSeries{{Name: "new", Color: barColorNew}, {Name: "known (dedup)", Color: barColorKnown}})
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// openChart emits the SVG opening, frame, gridlines and axis labels.
+func openChart(b *strings.Builder, maxX, maxY int, xLabel, yLabel string) {
+	fmt.Fprintf(b, `<svg viewBox="0 0 %d %d" class="chart" role="img">`, chartW, chartH)
+	// Horizontal gridlines at quarter intervals with y-axis tick labels.
+	for i := 0; i <= 4; i++ {
+		v := maxY * i / 4
+		y := plotY(v, maxY)
+		fmt.Fprintf(b, `<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="%s"/>`,
+			padLeft, svgNum(y), chartW-padRight, svgNum(y), gridColor)
+		fmt.Fprintf(b, `<text x="%d" y="%s" text-anchor="end" class="tick">%d</text>`,
+			padLeft-6, svgNum(y+4), v)
+	}
+	// Frame + axis labels.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+		padLeft, padTop+plotH, chartW-padRight, padTop+plotH, axisColor)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+		padLeft, padTop, padLeft, padTop+plotH, axisColor)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="middle" class="axis">%s (max %d)</text>`,
+		padLeft+plotW/2, chartH-4, xLabel, maxX)
+	fmt.Fprintf(b, `<text x="12" y="%d" class="axis" transform="rotate(-90 12 %d)" text-anchor="middle">%s</text>`,
+		padTop+plotH/2, padTop+plotH/2, yLabel)
+}
+
+// legend draws color swatches at the chart's top edge.
+func legend(b *strings.Builder, series []svgSeries) {
+	x := padLeft + 8
+	for _, s := range series {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, x, padTop, s.Color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" class="tick">%s</text>`, x+14, padTop+9, s.Name)
+		x += 14 + 7*len(s.Name) + 18
+	}
+}
+
+// plotX/plotY map data coordinates into the plot rectangle.
+func plotX(v, max int) float64 {
+	return float64(padLeft) + float64(v)/float64(max)*float64(plotW)
+}
+
+func plotY(v, max int) float64 {
+	return float64(padTop+plotH) - float64(v)/float64(max)*float64(plotH)
+}

@@ -45,7 +45,7 @@ func DetectAtomicityTargets(prog Program, o Options) []AtomicityTarget {
 		},
 		func(i int, r obsRun) {
 			if o.observing() {
-				o.emit(phase1Record("atomicity", i, o.Seed+int64(i), r.res))
+				o.emit(o.phase1Record("atomicity", i, o.Seed+int64(i), r.res))
 			}
 			for _, c := range r.cands {
 				key := fmt.Sprintf("%d/%d", c.First, c.Second)
@@ -164,6 +164,7 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 	tracePath := ""
 	perfPath := ""
 	finding := ""
+	newCells := 0
 	if len(r.violations) > 0 {
 		rep.ViolationRuns++
 		if o.Corpus != nil {
@@ -171,7 +172,9 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 			if len(r.res.Exceptions) > 0 {
 				branch = "threw"
 			}
-			o.Corpus.Observe(atomicitySignature(rep.Target), branch)
+			if o.Corpus.Observe(atomicitySignature(rep.Target), branch) {
+				newCells++
+			}
 		}
 		if rep.FirstTrial < 0 {
 			rep.FirstTrial = i
@@ -199,7 +202,7 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 		}
 	}
 	if o.observing() {
-		rec := runRecord("atomicity", a.targetIndex, i, seed, r.res)
+		rec := o.runRecord("atomicity", a.targetIndex, i, seed, r.res)
 		rec.Pair = fmt.Sprintf("(%s, %s)", rep.Target.First, rep.Target.Second)
 		rec.RaceCreated = len(r.violations) > 0
 		rec.Races = len(r.violations)
@@ -209,6 +212,7 @@ func (a *atomicityAgg) add(i int, r atomicityTrialResult) {
 		rec.Trace = tracePath
 		rec.Perf = perfPath
 		rec.Finding = finding
+		rec.NewCells = newCells
 		o.emit(rec)
 	}
 }

@@ -69,7 +69,7 @@ func DetectPotentialDeadlocksWithPolicy(prog Program, o Options, pol sched.Polic
 		},
 		func(i int, r obsRun) {
 			if o.observing() {
-				o.emit(phase1Record("deadlock", i, o.Seed+int64(i), r.res))
+				o.emit(o.phase1Record("deadlock", i, o.Seed+int64(i), r.res))
 			}
 			for _, c := range r.cycles {
 				k := key{c.Locks[0], c.Locks[1]}
@@ -185,10 +185,11 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 	tracePath := ""
 	perfPath := ""
 	finding := ""
+	newCells := 0
 	if hit {
 		rep.DeadlockRuns++
-		if o.Corpus != nil {
-			o.Corpus.Observe(deadlockSignature(rep.Cycle), "deadlock")
+		if o.Corpus != nil && o.Corpus.Observe(deadlockSignature(rep.Cycle), "deadlock") {
+			newCells++
 		}
 		if rep.FirstTrial < 0 {
 			rep.FirstTrial = i
@@ -213,7 +214,7 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 		}
 	}
 	if o.observing() {
-		rec := runRecord("deadlock", a.cycleIndex, i, seed, res)
+		rec := o.runRecord("deadlock", a.cycleIndex, i, seed, res)
 		rec.Pair = fmt.Sprintf("(%s, %s)", rep.Cycle.Locks[0], rep.Cycle.Locks[1])
 		rec.RaceCreated = hit
 		if hit {
@@ -223,6 +224,7 @@ func (a *deadlockAgg) add(i int, res *sched.Result) {
 		rec.Trace = tracePath
 		rec.Perf = perfPath
 		rec.Finding = finding
+		rec.NewCells = newCells
 		o.emit(rec)
 	}
 }

@@ -91,9 +91,10 @@ func TestWorkerCountResolution(t *testing.T) {
 	}
 }
 
-// decodeRunLog parses a JSONL run log and zeroes the wall-clock field, the
-// single nondeterministic column, so logs from different worker counts can
-// be compared entry-wise.
+// decodeRunLog parses a JSONL run log and zeroes the wall-clock field — the
+// single nondeterministic column, populated only under Options.Timing — so
+// logs from different worker counts can be compared entry-wise even in
+// timing-enabled campaigns.
 func decodeRunLog(t *testing.T, raw []byte) []obs.RunRecord {
 	t.Helper()
 	var recs []obs.RunRecord
@@ -105,7 +106,62 @@ func decodeRunLog(t *testing.T, raw []byte) []obs.RunRecord {
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("run log line %d: %v", ln, err)
 		}
-		rec.DurationSec = 0
+		rec.DurationNs = 0
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestJSONLBitIdenticalWithoutTiming pins the determinism invariant offline
+// analytics builds on: with Timing off (the default), two identical
+// campaigns write byte-for-byte identical JSONL run logs — no wall-clock
+// leaks into the stream. With Timing on, durationNs appears and carries a
+// positive wall clock.
+func TestJSONLBitIdenticalWithoutTiming(t *testing.T) {
+	bm := bench.MustByName("figure2")
+	runLog := func(timing bool) []byte {
+		var buf bytes.Buffer
+		jsonl := obs.NewJSONLSink(&buf)
+		Analyze(bm.New(), Options{
+			Seed: 9, Phase1Trials: bm.Phase1Trials, Phase2Trials: 10,
+			MaxSteps: bm.MaxSteps, Label: bm.Name, Sink: jsonl, Timing: timing,
+		})
+		if err := jsonl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := runLog(false), runLog(false)
+	if !bytes.Equal(a, b) {
+		t.Fatal("untimed campaigns wrote differing JSONL bytes")
+	}
+	if strings.Contains(string(a), "durationNs") {
+		t.Fatal("untimed log contains durationNs")
+	}
+	timed := decodeRunLogRaw(t, runLog(true))
+	saw := false
+	for _, rec := range timed {
+		if rec.DurationNs > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("timed log carries no positive durationNs")
+	}
+}
+
+// decodeRunLogRaw parses a JSONL run log without normalizing any field.
+func decodeRunLogRaw(t *testing.T, raw []byte) []obs.RunRecord {
+	t.Helper()
+	var recs []obs.RunRecord
+	for ln, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec obs.RunRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("run log line %d: %v", ln, err)
+		}
 		recs = append(recs, rec)
 	}
 	return recs

@@ -41,6 +41,15 @@ type Options struct {
 	// Programs must allocate their state per invocation (as every registry
 	// model does) so independent trials can execute concurrently.
 	Workers int
+	// Timing opts into per-run wall-clock timing on emitted records
+	// (RunRecord.DurationNs). Off by default: wall time is the one
+	// nondeterministic column, and leaving it zeroed keeps JSONL run logs
+	// bit-identical across repeat runs — the invariant CI's golden report
+	// test and the analytics determinism contract rely on.
+	Timing bool
+	// Round stamps emitted records with the adaptive campaign's 1-based
+	// allocation round (0 = not a budgeted campaign). See RunRecord.Round.
+	Round int
 
 	// Label annotates telemetry records with the campaign's name (usually
 	// the benchmark under test).
@@ -100,27 +109,26 @@ func (o Options) emit(rec obs.RunRecord) {
 }
 
 // phase1Record assembles the record of one phase-1 detector observation.
-func phase1Record(kind string, trial int, seed int64, res *sched.Result) obs.RunRecord {
+func (o Options) phase1Record(kind string, trial int, seed int64, res *sched.Result) obs.RunRecord {
 	rec := obs.RunRecord{
-		Phase: 1, Kind: kind, PairIndex: -1, Trial: trial,
+		Phase: 1, Kind: kind, PairIndex: -1, Trial: trial, Round: o.Round,
 		Seed: seed, StepsToRace: -1,
 		Deadlock: res.Deadlock != nil, Aborted: res.Aborted,
 		Steps: res.Steps, Stats: res.Stats,
 	}
-	if res.Stats != nil {
-		rec.DurationSec = res.Stats.Wall.Seconds()
-	}
+	o.stampTiming(&rec, res)
 	return rec
 }
 
 // runRecord assembles the common fields of a phase-2 record from a
 // scheduler result.
-func runRecord(kind string, pairIndex, trial int, seed int64, res *sched.Result) obs.RunRecord {
+func (o Options) runRecord(kind string, pairIndex, trial int, seed int64, res *sched.Result) obs.RunRecord {
 	rec := obs.RunRecord{
 		Phase:       2,
 		Kind:        kind,
 		PairIndex:   pairIndex,
 		Trial:       trial,
+		Round:       o.Round,
 		Seed:        seed,
 		StepsToRace: -1,
 		Deadlock:    res.Deadlock != nil,
@@ -136,10 +144,16 @@ func runRecord(kind string, pairIndex, trial int, seed int64, res *sched.Result)
 			rec.Exceptions = append(rec.Exceptions, k)
 		}
 	}
-	if res.Stats != nil {
-		rec.DurationSec = res.Stats.Wall.Seconds()
-	}
+	o.stampTiming(&rec, res)
 	return rec
+}
+
+// stampTiming copies the run's wall clock onto the record when the campaign
+// opted into -timing (zeroed otherwise — see RunRecord.DurationNs).
+func (o Options) stampTiming(rec *obs.RunRecord, res *sched.Result) {
+	if o.Timing && res.Stats != nil {
+		rec.DurationNs = res.Stats.Wall.Nanoseconds()
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -192,7 +206,7 @@ func DetectPotentialRaces(prog Program, o Options) []event.StmtPair {
 				union[p] = true
 			}
 			if o.observing() {
-				o.emit(phase1Record("race", i, o.Seed+int64(i), r.res))
+				o.emit(o.phase1Record("race", i, o.Seed+int64(i), r.res))
 			}
 		})
 	out := make([]event.StmtPair, 0, len(union))
@@ -368,12 +382,13 @@ func (a *pairAgg) add(i int, run *RunReport) {
 	tracePath := ""
 	perfPath := ""
 	finding := ""
+	newCells := 0
 	if run.RaceCreated {
 		firstRaceStep = run.Races[0].Step
 		a.stepsToRace.Observe(float64(firstRaceStep))
 		rep.RaceRuns++
-		if o.Corpus != nil {
-			o.Corpus.Observe(raceSignature(rep.Pair), raceBranch(run.Races[0]))
+		if o.Corpus != nil && o.Corpus.Observe(raceSignature(rep.Pair), raceBranch(run.Races[0])) {
+			newCells++
 		}
 		if rep.FirstRaceTrial < 0 {
 			rep.FirstRaceTrial = i
@@ -415,7 +430,7 @@ func (a *pairAgg) add(i int, run *RunReport) {
 		rep.TotalPostpones += int64(stats.Postpones)
 	}
 	if o.observing() {
-		rec := runRecord("race", a.pairIndex, i, seed, run.Result)
+		rec := o.runRecord("race", a.pairIndex, i, seed, run.Result)
 		rec.Pair = rep.Pair.String()
 		rec.RaceCreated = run.RaceCreated
 		rec.Races = len(run.Races)
@@ -423,6 +438,7 @@ func (a *pairAgg) add(i int, run *RunReport) {
 		rec.Trace = tracePath
 		rec.Perf = perfPath
 		rec.Finding = finding
+		rec.NewCells = newCells
 		o.emit(rec)
 	}
 }
@@ -516,7 +532,7 @@ func FuzzSet(prog Program, pairs []event.StmtPair, o Options) SetReport {
 				rep.ExceptionRuns++
 			}
 			if o.observing() {
-				rec := runRecord("race-set", -1, i, pairSeed(o.Seed, 3_000_000, i), r.res)
+				rec := o.runRecord("race-set", -1, i, pairSeed(o.Seed, 3_000_000, i), r.res)
 				rec.RaceCreated = r.created
 				rec.Races = len(r.races)
 				if len(r.races) > 0 {

@@ -28,6 +28,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"racefuzzer/internal/obs"
 )
 
 // FormatVersion is the corpus directory format version. Loading a corpus
@@ -109,11 +111,15 @@ type Finding struct {
 	Exceptions []string `json:"exceptions,omitempty"`
 }
 
-// manifest is the versioned MANIFEST.json schema.
+// manifest is the versioned MANIFEST.json schema. Provenance records the
+// tool build and configuration of the campaign that last saved the corpus
+// (nil in corpora written before the field existed — loaders tolerate its
+// absence).
 type manifest struct {
-	V        int `json:"v"`
-	Findings int `json:"findings"`
-	Coverage int `json:"coverage"`
+	V          int             `json:"v"`
+	Findings   int             `json:"findings"`
+	Coverage   int             `json:"coverage"`
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
 }
 
 const (
@@ -145,6 +151,11 @@ type Store struct {
 	// truncated reports that loading skipped a partial trailing record
 	// (crash mid-write); callers may surface it as a warning.
 	truncated bool
+
+	// prov is the provenance stamped into MANIFEST.json on the next Save
+	// (loaded from the manifest when opening an existing corpus, overwritten
+	// by SetProvenance when a campaign adopts the store).
+	prov *obs.Provenance
 }
 
 // Open loads the corpus at dir, creating an empty store when the directory
@@ -166,6 +177,7 @@ func Open(dir string) (*Store, error) {
 	if m.V > FormatVersion {
 		return nil, fmt.Errorf("corpus: unsupported format version %d (this build reads <= %d)", m.V, FormatVersion)
 	}
+	s.prov = m.Provenance
 	findings, trunc1, err := loadJSONL[Finding](filepath.Join(dir, findingsFile))
 	if err != nil {
 		return nil, err
@@ -363,6 +375,32 @@ func (s *Store) Len() int {
 	return len(s.order)
 }
 
+// SetProvenance records the campaign provenance to stamp into MANIFEST.json
+// on the next Save. A nil store ignores it.
+func (s *Store) SetProvenance(p obs.Provenance) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prov = &p
+}
+
+// Provenance returns the provenance of the campaign that last saved (or
+// adopted) this corpus, nil when none was recorded.
+func (s *Store) Provenance() *obs.Provenance {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prov == nil {
+		return nil
+	}
+	p := *s.prov
+	return &p
+}
+
 // Counts returns this session's (new, known) sighting tallies — the
 // dedup-rate numerator and denominator.
 func (s *Store) Counts() (newSigs, knownSigs int64) {
@@ -457,7 +495,10 @@ func (s *Store) Save() error {
 	if err := writeAtomic(filepath.Join(s.dir, coverageFile), cbuf.Bytes()); err != nil {
 		return err
 	}
-	mb, err := json.MarshalIndent(manifest{V: FormatVersion, Findings: len(s.order), Coverage: len(s.cov.order)}, "", "  ")
+	mb, err := json.MarshalIndent(manifest{
+		V: FormatVersion, Findings: len(s.order), Coverage: len(s.cov.order),
+		Provenance: s.prov,
+	}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("corpus: save: %w", err)
 	}

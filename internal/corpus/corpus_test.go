@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"racefuzzer/internal/obs"
 )
 
 func sig(kind, a, b, outcome string) Signature { return MakeSignature(kind, a, b, outcome) }
@@ -215,5 +217,138 @@ func TestNilStoreIsSafe(t *testing.T) {
 	}
 	if err := s.Save(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCoverageReloadSurvivesTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(sig("race", "a", "b", "race"), "candidate-first")
+	s.Observe(sig("race", "a", "b", "race"), "postponed-first")
+	s.Observe(sig("deadlock", "c", "d", "deadlock"), "deadlock")
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the final coverage record in half: the crash-mid-write footprint.
+	path := filepath.Join(dir, coverageFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := b[:len(b)-len(b)/5]
+	if cut[len(cut)-1] == '\n' {
+		cut = cut[:len(cut)-1]
+	}
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn coverage file failed to load: %v", err)
+	}
+	if !r.Truncated() {
+		t.Fatal("torn coverage load not flagged")
+	}
+	if r.CoverageLen() != 2 {
+		t.Fatalf("CoverageLen = %d after tear, want 2 (partial cell skipped)", r.CoverageLen())
+	}
+	// The surviving cells keep their identity: re-observing them is a dup,
+	// while the torn-away cell is rediscovered as new.
+	if r.Observe(sig("race", "a", "b", "race"), "candidate-first") {
+		t.Fatal("surviving cell re-observed as new")
+	}
+	if !r.Observe(sig("deadlock", "c", "d", "deadlock"), "deadlock") {
+		t.Fatal("torn-away cell not rediscovered as new")
+	}
+}
+
+func TestObserveDedupMatchesReloadedStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type obsCall struct {
+		sig    Signature
+		branch string
+	}
+	calls := []obsCall{
+		{sig("race", "a", "b", "race"), "candidate-first"},
+		{sig("race", "a", "b", "race"), "postponed-first"},
+		{sig("race", "a", "b", "race"), "candidate-first"},
+		{sig("atomicity", "p", "q", "violation"), "clean"},
+		{sig("atomicity", "p", "q", "violation"), "threw"},
+	}
+	var fresh []bool
+	for _, c := range calls {
+		fresh = append(fresh, s.Observe(c.sig, c.branch))
+	}
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoverageLen() != s.CoverageLen() {
+		t.Fatalf("reloaded CoverageLen = %d, want %d", r.CoverageLen(), s.CoverageLen())
+	}
+	// Replaying the same observations against the reloaded store must dedup
+	// every one: each cell is already on disk.
+	for i, c := range calls {
+		if r.Observe(c.sig, c.branch) {
+			t.Fatalf("call %d (%v/%s) new against reloaded store (fresh run said %v)",
+				i, c.sig, c.branch, fresh[i])
+		}
+	}
+	// Hits accumulate across the save/load boundary.
+	want := map[string]int64{}
+	for _, c := range calls {
+		want[c.sig.Canon()+"|"+c.branch] += 2 // once pre-save, once post-reload
+	}
+	for _, cell := range r.Coverage() {
+		if got := cell.Hits; got != want[cell.Sig.Canon()+"|"+cell.Branch] {
+			t.Fatalf("cell %v/%s Hits = %d, want %d", cell.Sig, cell.Branch, got, want[cell.Sig.Canon()+"|"+cell.Branch])
+		}
+	}
+}
+
+func TestManifestProvenanceRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Provenance() != nil {
+		t.Fatal("fresh store has provenance")
+	}
+	s.Report(Finding{Sig: sig("race", "a", "b", "race"), Bench: "x"})
+	s.SetProvenance(obs.Provenance{Tool: "racefuzzer", Label: "nightly", Config: "seed=1"})
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Provenance()
+	if p == nil || p.Tool != "racefuzzer" || p.Label != "nightly" || p.Config != "seed=1" {
+		t.Fatalf("reloaded provenance = %+v", p)
+	}
+	// Pre-provenance corpora (no field in MANIFEST.json) still load.
+	m, _ := json.Marshal(map[string]int{"v": FormatVersion, "findings": 1, "coverage": 0})
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), m, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := Open(dir)
+	if err != nil {
+		t.Fatalf("provenance-less manifest failed to load: %v", err)
+	}
+	if old.Provenance() != nil {
+		t.Fatal("provenance-less manifest produced provenance")
 	}
 }

@@ -57,6 +57,10 @@ type CampaignOptions struct {
 	// PerfDir, when non-empty, exports a Perfetto timeline of each target's
 	// first confirming trial there (see core.Options.PerfDir).
 	PerfDir string
+	// Timing stamps per-run wall clock onto emitted records (see
+	// core.Options.Timing). Off by default so run logs stay byte-identical
+	// across repeat campaigns.
+	Timing bool
 }
 
 func (o CampaignOptions) withDefaults() CampaignOptions {
@@ -135,7 +139,7 @@ func RunAdaptiveCampaign(names []string, o CampaignOptions) []CampaignRow {
 			sigsBefore := store.BenchSignatures(names[i])
 			cellsBefore := store.CoverageLen()
 			_, knownBefore := store.Counts()
-			row := runBudgetedTarget(benches[i], alloc[i], roundSeed(o.Seed, r), store, o)
+			row := runBudgetedTarget(benches[i], alloc[i], roundSeed(o.Seed, r), r+1, store, o)
 			rows[i].Trials += row.trials
 			rows[i].Potential = row.potential
 			dSigs := store.BenchSignatures(names[i]) - sigsBefore
@@ -163,7 +167,7 @@ type targetRound struct {
 // across the reported pairs (earlier pairs absorb the remainder; pairs past
 // the budget are skipped this round — a later round's fresh seed revisits
 // them).
-func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, store *corpus.Store, o CampaignOptions) targetRound {
+func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, round int, store *corpus.Store, o CampaignOptions) targetRound {
 	opts := core.Options{
 		Seed:         seed,
 		Phase1Trials: b.Phase1Trials,
@@ -177,6 +181,8 @@ func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, store *corpus.
 		Introspect:   o.Introspect,
 		Prof:         o.Prof,
 		PerfDir:      o.PerfDir,
+		Timing:       o.Timing,
+		Round:        round,
 	}
 	if opts.Phase1Trials <= 0 {
 		opts.Phase1Trials = 3

@@ -60,6 +60,10 @@ type Options struct {
 	// PerfDir, when non-empty, exports a Perfetto timeline of each target's
 	// first confirming trial there (core.Options.PerfDir).
 	PerfDir string
+	// Timing stamps per-run wall clock onto emitted records
+	// (core.Options.Timing). Off by default to keep run logs byte-identical
+	// across repeat invocations.
+	Timing bool
 }
 
 func (o Options) withDefaults() Options {
@@ -174,6 +178,7 @@ func RunBenchmark(b bench.Benchmark, o Options) Row {
 		Introspect:   o.Introspect,
 		Prof:         o.Prof,
 		PerfDir:      o.PerfDir,
+		Timing:       o.Timing,
 	}
 	var sinks obs.MultiSink
 	if o.Metrics != nil {

@@ -69,7 +69,14 @@ func (c *CampaignMetrics) Emit(rec RunRecord) {
 		c.phase1Runs++
 	}
 	c.steps += int64(rec.Steps)
-	c.wall += time.Duration(rec.DurationSec * float64(time.Second))
+	// Wall time prefers the in-process RunStats (always populated when
+	// observing); decoded JSONL records carry it in DurationNs when the
+	// campaign opted into -timing.
+	if rec.Stats != nil {
+		c.wall += rec.Stats.Wall
+	} else {
+		c.wall += time.Duration(rec.DurationNs)
+	}
 	if rec.RaceCreated {
 		c.raceRuns++
 		if c.firstRaceRun < 0 {

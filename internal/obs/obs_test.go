@@ -71,8 +71,9 @@ func TestCampaignMetricsAggregation(t *testing.T) {
 	st.OnEvent(event.Event{Kind: event.KindMem})
 	st.OnEvent(event.Event{Kind: event.KindMem})
 	st.ObserveEnabled(2)
+	st.SetWall(500 * time.Millisecond)
 	c.Emit(RunRecord{Phase: 2, Steps: 30, RaceCreated: true, StepsToRace: 120,
-		Races: 1, Exceptions: []string{"NPE"}, DurationSec: 0.5, Stats: st.Stats()})
+		Races: 1, Exceptions: []string{"NPE"}, Stats: st.Stats()})
 
 	s := c.Snapshot()
 	counters := map[string]int64{}

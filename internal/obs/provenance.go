@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Provenance identifies the producer of a campaign artifact: which tool at
+// which build wrote a JSONL run log or a corpus directory, under what
+// configuration and campaign label. It is stamped as the first line of JSONL
+// run logs (see JSONLSink.Header) and into the corpus MANIFEST.json, and the
+// offline analytics engine surfaces it in report headers so a pasted table
+// stays attributable months later.
+//
+// Provenance deliberately carries no wall-clock timestamp: the same build
+// running the same configuration must produce byte-identical artifacts (the
+// determinism contract CI's golden report test enforces), and a timestamp
+// would break that. Label is the campaign's "start label" instead.
+type Provenance struct {
+	// Tool is the producing command ("racefuzzer", "benchtable", ...).
+	Tool string `json:"tool"`
+	// Version is the module version from build info ("(devel)" for source
+	// builds), Commit the VCS revision stamped at build time ("" when the
+	// build carried none).
+	Version string `json:"version,omitempty"`
+	Commit  string `json:"commit,omitempty"`
+	// Go is the toolchain that built the producer.
+	Go string `json:"go,omitempty"`
+	// Label names the campaign (usually the benchmark name or "campaign").
+	Label string `json:"label,omitempty"`
+	// Config renders the non-default configuration as "flag=value" pairs in
+	// sorted order — enough to re-run the campaign by hand.
+	Config string `json:"config,omitempty"`
+}
+
+// CollectProvenance assembles a Provenance for the named tool from the
+// binary's build info. flags maps explicitly-set flag names to their values;
+// it is rendered sorted, so the result is deterministic for a given
+// configuration.
+func CollectProvenance(tool, label string, flags map[string]string) Provenance {
+	p := Provenance{Tool: tool, Label: label, Config: renderConfig(flags)}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		p.Version = bi.Main.Version
+		p.Go = bi.GoVersion
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				p.Commit = s.Value
+			}
+		}
+	}
+	return p
+}
+
+// String renders the provenance on one line for report headers.
+func (p Provenance) String() string {
+	var b strings.Builder
+	b.WriteString(p.Tool)
+	if p.Version != "" {
+		b.WriteByte(' ')
+		b.WriteString(p.Version)
+	}
+	if p.Commit != "" {
+		c := p.Commit
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		b.WriteString(" @" + c)
+	}
+	if p.Go != "" {
+		b.WriteString(" (" + p.Go + ")")
+	}
+	if p.Label != "" {
+		b.WriteString(" label=" + p.Label)
+	}
+	if p.Config != "" {
+		b.WriteString(" [" + p.Config + "]")
+	}
+	return b.String()
+}
+
+// renderConfig renders flag=value pairs space-separated in sorted name order.
+func renderConfig(flags map[string]string) string {
+	if len(flags) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(flags))
+	for n := range flags {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(flags[n])
+	}
+	return b.String()
+}
+
+// provenanceLine is the JSONL header wire form: a line whose single
+// "provenance" key distinguishes it from run records, so loaders written
+// before the header existed still parse the stream (they see a RunRecord
+// with every field zero and can skip or ignore it), and loaders that know
+// the header tolerate logs without one.
+type provenanceLine struct {
+	Provenance *Provenance `json:"provenance"`
+}
+
+// ParseProvenanceLine reports whether a JSONL line is a provenance header,
+// returning the decoded header when it is. Loaders call it on the first
+// line of a run log; any non-header line (including legacy logs that start
+// directly with a run record) returns (nil, false).
+func ParseProvenanceLine(line []byte) (*Provenance, bool) {
+	var pl provenanceLine
+	if err := json.Unmarshal(line, &pl); err != nil || pl.Provenance == nil {
+		return nil, false
+	}
+	return pl.Provenance, true
+}
+
+// Header writes the provenance header line. It must be called before the
+// first Emit; a header after any record would corrupt Seq-sorted loading,
+// so late calls are dropped. Returns the sink for call chaining.
+func (s *JSONLSink) Header(p Provenance) *JSONLSink {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.seq > 0 {
+		return s
+	}
+	s.err = s.enc.Encode(provenanceLine{Provenance: &p})
+	return s
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProvenanceHeader(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	p := CollectProvenance("racefuzzer", "demo", map[string]string{
+		"seed": "42", "budget": "100",
+	})
+	if p.Tool != "racefuzzer" || p.Label != "demo" {
+		t.Fatalf("provenance = %+v", p)
+	}
+	// Sorted flag rendering keeps the header byte-stable across runs.
+	if p.Config != "budget=100 seed=42" {
+		t.Fatalf("config = %q", p.Config)
+	}
+	s.Header(p)
+	s.Emit(RunRecord{Label: "demo", Phase: 1})
+	// A header after the first record must be silently refused: analytics
+	// loaders only look for provenance on line one.
+	s.Header(p)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines:\n%s", len(lines), buf.String())
+	}
+	got, ok := ParseProvenanceLine([]byte(lines[0]))
+	if !ok || got.Tool != "racefuzzer" || got.Config != p.Config {
+		t.Fatalf("parsed = %+v ok=%v", got, ok)
+	}
+	// A run record is not a provenance line.
+	if _, ok := ParseProvenanceLine([]byte(lines[1])); ok {
+		t.Fatal("run record parsed as provenance")
+	}
+	// Garbage is tolerated (loaders skip to records).
+	if _, ok := ParseProvenanceLine([]byte("not json")); ok {
+		t.Fatal("garbage parsed as provenance")
+	}
+}

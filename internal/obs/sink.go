@@ -31,6 +31,10 @@ type RunRecord struct {
 	PairIndex int `json:"pairIndex"`
 	// Trial is the 0-based trial index within the target's campaign.
 	Trial int `json:"trial"`
+	// Round is the adaptive campaign's 1-based allocation round (0 outside
+	// budgeted campaigns) — the key the offline analytics engine groups
+	// budget-audit and dedup-trend tables by.
+	Round int `json:"round,omitempty"`
 	// Seed replays this exact execution.
 	Seed int64 `json:"seed"`
 	// RaceCreated reports whether the directed goal was reached (real race /
@@ -49,9 +53,16 @@ type RunRecord struct {
 	Aborted bool `json:"aborted,omitempty"`
 	// Steps is the run's scheduler step count.
 	Steps int `json:"steps"`
-	// DurationSec is the run's wall-clock duration in seconds (0 when the
-	// run was not timed).
-	DurationSec float64 `json:"durationSec"`
+	// DurationNs is the run's wall-clock duration in nanoseconds. It is
+	// opt-in (core.Options.Timing, the -timing CLI flag) and zero by
+	// default, so the JSONL stream stays bit-identical across repeat runs —
+	// the determinism invariant offline analytics and CI golden tests rely
+	// on. With timing on, analytics can compute real per-run throughput.
+	DurationNs int64 `json:"durationNs,omitempty"`
+	// NewCells is the number of interleaving-coverage cells this run added
+	// to the campaign corpus (0 without a corpus or when every observed
+	// cell was already known). See corpus.Store.Observe.
+	NewCells int `json:"newCells,omitempty"`
 	// Trace is the path of the flight recording auto-captured for this run
 	// (set on the first confirming run of a target when capture is enabled).
 	Trace string `json:"trace,omitempty"`

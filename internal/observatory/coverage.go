@@ -1,0 +1,148 @@
+package observatory
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"racefuzzer/internal/analytics"
+	"racefuzzer/internal/obs"
+)
+
+// maxCurvePoints bounds the in-memory discovery curve; when the cap is hit
+// the older half is decimated (every second point dropped), so the curve
+// keeps its shape at half resolution instead of growing without bound.
+const maxCurvePoints = 2048
+
+// coverageTracker is the live counterpart of the offline analytics engine's
+// coverage frontier: it folds every emitted run record into cumulative
+// discovery counts, a discovery curve, and per-target sighting abundances
+// feeding the same Chao1 richness estimate campaignreport computes offline.
+type coverageTracker struct {
+	mu        sync.Mutex
+	trials    int64 // phase-2 trials seen
+	newSigs   int64
+	knownSigs int64
+	newCells  int64
+	sightings map[coverageKey]int64 // confirming runs per directed target
+	curve     []CoveragePoint
+}
+
+// coverageKey identifies one directed target for abundance counting, the
+// same (label, kind, pairIndex) key the offline engine's log-based
+// abundance uses.
+type coverageKey struct {
+	label, kind string
+	pair        int
+}
+
+// CoveragePoint is one step of the live discovery curve: cumulative new
+// signatures and new coverage cells after a given phase-2 trial count.
+type CoveragePoint struct {
+	Trial int64 `json:"trial"`
+	Sigs  int64 `json:"sigs"`
+	Cells int64 `json:"cells"`
+}
+
+// CoverageSnapshot is the /debug/coverage payload.
+type CoverageSnapshot struct {
+	// Trials counts phase-2 trials observed so far.
+	Trials int64 `json:"trials"`
+	// NewSigs and KnownSigs split corpus verdicts; NewCells counts coverage
+	// cells first touched.
+	NewSigs   int64 `json:"newSigs"`
+	KnownSigs int64 `json:"knownSigs"`
+	NewCells  int64 `json:"newCells"`
+	// DedupRate is KnownSigs over all verdicts (0 before the first verdict).
+	DedupRate float64 `json:"dedupRate"`
+	// Observed, F1 and F2 are the abundance inputs: distinct confirmed
+	// targets, and how many were confirmed exactly once / exactly twice.
+	Observed int `json:"observed"`
+	F1       int `json:"f1"`
+	F2       int `json:"f2"`
+	// Chao1 estimates total signature richness; CompletenessPct is
+	// Observed/Chao1 (100 when the frontier looks exhausted).
+	Chao1           float64 `json:"chao1"`
+	CompletenessPct float64 `json:"completenessPct"`
+	// Curve is the discovery step curve (points only where a count moved).
+	Curve []CoveragePoint `json:"curve"`
+}
+
+func newCoverageTracker() *coverageTracker {
+	return &coverageTracker{sightings: make(map[coverageKey]int64)}
+}
+
+// observe folds one run record into the tracker.
+func (c *coverageTracker) observe(rec obs.RunRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.Phase == 2 {
+		c.trials++
+		if rec.RaceCreated || rec.Deadlock {
+			c.sightings[coverageKey{rec.Label, rec.Kind, rec.PairIndex}]++
+		}
+	}
+	moved := false
+	switch rec.Finding {
+	case "new":
+		c.newSigs++
+		moved = true
+	case "known":
+		c.knownSigs++
+	}
+	if rec.NewCells > 0 {
+		c.newCells += int64(rec.NewCells)
+		moved = true
+	}
+	if moved {
+		c.curve = append(c.curve, CoveragePoint{Trial: c.trials, Sigs: c.newSigs, Cells: c.newCells})
+		if len(c.curve) >= maxCurvePoints {
+			half := len(c.curve) / 2
+			kept := c.curve[:0]
+			for i, p := range c.curve {
+				if i >= half || i%2 == 0 {
+					kept = append(kept, p)
+				}
+			}
+			c.curve = kept
+		}
+	}
+}
+
+// snapshot renders the current state, recomputing the Chao1 estimate from
+// the live abundances.
+func (c *coverageTracker) snapshot() CoverageSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := CoverageSnapshot{
+		Trials: c.trials, NewSigs: c.newSigs, KnownSigs: c.knownSigs, NewCells: c.newCells,
+		Observed: len(c.sightings),
+		Curve:    append([]CoveragePoint(nil), c.curve...),
+	}
+	if verdicts := c.newSigs + c.knownSigs; verdicts > 0 {
+		snap.DedupRate = float64(c.knownSigs) / float64(verdicts)
+	}
+	for _, n := range c.sightings {
+		switch n {
+		case 1:
+			snap.F1++
+		case 2:
+			snap.F2++
+		}
+	}
+	snap.Chao1 = analytics.Chao1(snap.Observed, snap.F1, snap.F2)
+	if snap.Chao1 > 0 {
+		snap.CompletenessPct = 100 * float64(snap.Observed) / snap.Chao1
+	}
+	return snap
+}
+
+// handleCoverage serves the live coverage-frontier snapshot: the same
+// discovery curve and Chao1 estimate cmd/campaignreport computes offline,
+// but recomputed from the records streamed through the sink so far.
+func (s *Server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.cov.snapshot()) //nolint:errcheck // best-effort write to client
+}

@@ -7,6 +7,7 @@
 //	/events      a Server-Sent-Events stream of run records and findings
 //	/debug/sched JSON snapshots of live scheduler state (wait-for graph)
 //	/debug/perf  JSON schedprof aggregates (per-op-kind latency quantiles)
+//	/debug/coverage JSON coverage frontier (discovery curve, Chao1 estimate)
 //	/healthz     liveness probe
 //
 // Design constraints, in order:
@@ -67,6 +68,7 @@ type Server struct {
 	bc    *obs.Broadcast
 	insp  *sched.Introspector
 	prof  *schedprof.Collector
+	cov   *coverageTracker
 	start time.Time
 
 	mu      sync.Mutex
@@ -106,6 +108,7 @@ func New(cfg Config) *Server {
 		bc:      obs.NewBroadcast(),
 		insp:    sched.NewIntrospector(),
 		prof:    schedprof.NewCollector(),
+		cov:     newCoverageTracker(),
 		targets: make(map[targetKey]*targetCount),
 		start:   time.Now(),
 	}
@@ -181,6 +184,7 @@ func (w serverSink) Emit(rec obs.RunRecord) {
 		}
 		s.mu.Unlock()
 	}
+	s.cov.observe(rec)
 	s.bc.Emit(rec)
 }
 
@@ -200,6 +204,7 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/debug/sched", s.handleSched)
 	mux.HandleFunc("/debug/perf", s.handlePerf)
+	mux.HandleFunc("/debug/coverage", s.handleCoverage)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

@@ -222,6 +222,30 @@ func TestObservatoryServesLiveCampaign(t *testing.T) {
 		t.Errorf("/debug/perf quantiles all zero: %s", pbody)
 	}
 
+	// /debug/coverage: the live coverage frontier mirrors the campaign —
+	// same trial count, a non-empty discovery curve whose final point equals
+	// the totals, and a Chao1 estimate at or above observed richness.
+	cbody, cresp := httpGet(t, base+"/debug/coverage")
+	if ct := cresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/coverage Content-Type = %q", ct)
+	}
+	var cov CoverageSnapshot
+	if err := json.Unmarshal([]byte(cbody), &cov); err != nil {
+		t.Fatalf("/debug/coverage not JSON: %v\n%s", err, cbody)
+	}
+	if want := int64(len(rep.Potential) * opts.Phase2Trials); cov.Trials != want {
+		t.Errorf("/debug/coverage trials = %d, want %d", cov.Trials, want)
+	}
+	if cov.NewSigs == 0 || cov.NewCells == 0 || len(cov.Curve) == 0 {
+		t.Fatalf("/debug/coverage shows no discovery: %s", cbody)
+	}
+	if f := cov.Curve[len(cov.Curve)-1]; f.Sigs != cov.NewSigs || f.Cells != cov.NewCells {
+		t.Errorf("coverage curve final %+v != totals (sigs %d, cells %d)", f, cov.NewSigs, cov.NewCells)
+	}
+	if cov.Observed == 0 || cov.Chao1 < float64(cov.Observed) {
+		t.Errorf("coverage frontier malformed: observed=%d chao1=%v", cov.Observed, cov.Chao1)
+	}
+
 	// Dashboard and liveness.
 	dash, dresp := httpGet(t, base+"/")
 	if ct := dresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
@@ -229,6 +253,9 @@ func TestObservatoryServesLiveCampaign(t *testing.T) {
 	}
 	if !strings.Contains(dash, "EventSource") {
 		t.Error("dashboard does not wire up the SSE stream")
+	}
+	if !strings.Contains(dash, "/debug/coverage") {
+		t.Error("dashboard does not wire up the coverage panel")
 	}
 	if _, nf := httpGet(t, base+"/nosuch"); nf.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path status = %d", nf.StatusCode)
@@ -337,6 +364,48 @@ func TestObservatoryNilServerIsInert(t *testing.T) {
 		Seed: 1, Phase1Trials: 1,
 		Metrics: s.Campaign(), Sink: s.Sink(), Introspect: s.Introspector(),
 	})
+}
+
+// TestCoverageTrackerCurveAndEstimate pins the live tracker's bookkeeping:
+// dedup rate, abundance-based Chao1 inputs, and the curve decimation that
+// bounds memory while preserving the envelope (final point == totals).
+func TestCoverageTrackerCurveAndEstimate(t *testing.T) {
+	c := newCoverageTracker()
+	// Every trial confirms a distinct target once: all singletons.
+	for i := 0; i < 3*maxCurvePoints; i++ {
+		c.observe(obs.RunRecord{Phase: 2, Label: "x", Kind: "race", PairIndex: i,
+			RaceCreated: true, Finding: "new", NewCells: 1})
+	}
+	// Plus some re-sightings of target 0 that move no counts.
+	for i := 0; i < 4; i++ {
+		c.observe(obs.RunRecord{Phase: 2, Label: "x", Kind: "race", PairIndex: 0,
+			RaceCreated: true, Finding: "known"})
+	}
+	snap := c.snapshot()
+	total := int64(3 * maxCurvePoints)
+	if snap.Trials != total+4 || snap.NewSigs != total || snap.KnownSigs != 4 || snap.NewCells != total {
+		t.Fatalf("totals = %+v", snap)
+	}
+	if want := 4 / float64(total+4); snap.DedupRate != want {
+		t.Errorf("dedup rate = %v, want %v", snap.DedupRate, want)
+	}
+	if snap.Observed != 3*maxCurvePoints {
+		t.Errorf("observed = %d", snap.Observed)
+	}
+	// Target 0 was sighted 5 times; everything else exactly once.
+	if snap.F1 != snap.Observed-1 || snap.F2 != 0 {
+		t.Errorf("f1=%d f2=%d, want %d and 0", snap.F1, snap.F2, snap.Observed-1)
+	}
+	if snap.Chao1 < float64(snap.Observed) || snap.CompletenessPct <= 0 || snap.CompletenessPct > 100 {
+		t.Errorf("estimate malformed: chao1=%v completeness=%v", snap.Chao1, snap.CompletenessPct)
+	}
+	if len(snap.Curve) >= maxCurvePoints {
+		t.Errorf("curve not decimated: %d points", len(snap.Curve))
+	}
+	f := snap.Curve[len(snap.Curve)-1]
+	if f.Sigs != snap.NewSigs || f.Cells != snap.NewCells {
+		t.Errorf("curve final %+v != totals after decimation", f)
+	}
 }
 
 // TestObservatoryTargetSeriesCap pins the label-cardinality guard: targets
