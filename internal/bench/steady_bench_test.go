@@ -1,0 +1,27 @@
+package bench_test
+
+import (
+	"testing"
+
+	"racefuzzer/internal/bench"
+	"racefuzzer/internal/sched"
+)
+
+// BenchmarkSteadyPooled measures the campaign inner loop in steady state:
+// the program and policy are constructed once and every iteration recycles
+// one scheduler tree through the trial pool. After warmup the grant engine
+// allocates nothing per round — remaining allocs/op are the Result, the
+// model's own fork-body closures, and goroutine start. Compare against the
+// benchsnap sched suite's grant_serial_steady entry.
+func BenchmarkSteadyPooled(b *testing.B) {
+	prog := bench.GrantSerial(256)
+	pol := sched.NewRandomPolicy()
+	for i := 0; i < 16; i++ { // warm the pool and the stmt caches
+		sched.Run(prog, sched.Config{Seed: int64(i), Policy: pol})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Run(prog, sched.Config{Seed: int64(i), Policy: pol})
+	}
+}

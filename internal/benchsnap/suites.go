@@ -94,6 +94,32 @@ func SchedSuite(o SuiteOptions) (*Snapshot, *schedprof.Timeline) {
 		snap.Results = append(snap.Results, res)
 	}
 
+	// The steady-state pooled trial: program and policy are built once and
+	// millions of runs recycle one scheduler tree through the pool, the way
+	// a fuzzing campaign's inner loop does. After warmup the engine itself
+	// allocates nothing per round; what remains per run is the Result, the
+	// model program's own fork-body closures, and goroutine start — so this
+	// number is the floor the per-construction workloads above sit on.
+	{
+		prog := bench.GrantSerial(256)
+		pol := sched.NewRandomPolicy()
+		var steps int
+		var i int64
+		for ; i < 16; i++ { // warm the pool and the stmt caches
+			sched.Run(prog, sched.Config{Seed: o.Seed + i, Policy: pol})
+		}
+		res := Measure("grant_serial_steady/ops=256", o.Benchtime, func() {
+			r := sched.Run(prog, sched.Config{Seed: o.Seed + i, Policy: pol})
+			steps = r.Steps
+			i++
+		})
+		res.Metrics = map[string]float64{
+			"steps_per_op": float64(steps),
+			"ns_per_step":  res.NsPerOp / float64(steps),
+		}
+		snap.Results = append(snap.Results, res)
+	}
+
 	// The serial micro with profiling on: the delta against grant_serial is
 	// the whole probe cost, tracked release over release. A collector-backed
 	// trial is reused through the pool exactly as campaigns use it.

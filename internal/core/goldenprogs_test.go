@@ -1,0 +1,166 @@
+package core
+
+// Model programs for the engine golden cross-check (golden_test.go).
+//
+// FROZEN FILE: Fork/Join/Interrupt label statements with CallerStmt, so the
+// golden trace bytes embed this file's line numbers. Editing these programs
+// (or moving them within the file) invalidates testdata/engine/* — regenerate
+// with `go test ./internal/core -run TestEngineGolden -update-engine-goldens`
+// ONLY when an intentional engine-behavior change is being pinned.
+
+import (
+	"errors"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/sched"
+)
+
+var errGoldenBoom = errors.New("golden: boom")
+
+// goldenMixed exercises every scheduler op kind except fork-free paths in
+// one program: fork/join, reentrant monitor locks, wait/notify/notifyAll,
+// interrupt (both a waiting and a running target), nops, reads and writes,
+// and a thread that throws while holding one lock (forced release on death).
+func goldenMixed() Program {
+	sProduce := event.StmtFor("gm:produce")
+	sConsume := event.StmtFor("gm:consume")
+	sFlag := event.StmtFor("gm:flag")
+	sWork := event.StmtFor("gm:work")
+	sAcq := event.StmtFor("gm:acq")
+	sRel := event.StmtFor("gm:rel")
+	sWait := event.StmtFor("gm:wait")
+	sNotify := event.StmtFor("gm:notify")
+	sNotifyAll := event.StmtFor("gm:notifyAll")
+	sThrow := event.StmtFor("gm:throw")
+	return func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		mon := s.NewLock("mon")
+		box := s.NewLoc("box")
+		flagLoc := s.NewLoc("flag")
+		ready := false
+
+		consumers := make([]*sched.Thread, 2)
+		for i := range consumers {
+			consumers[i] = mt.Fork("consumer", func(c *sched.Thread) {
+				c.LockAcquire(mon, sAcq)
+				for {
+					c.MemRead(flagLoc, sFlag)
+					if ready {
+						break
+					}
+					c.MonitorWait(mon, sWait)
+				}
+				c.MemRead(box, sConsume)
+				c.LockRelease(mon, sRel)
+			})
+		}
+		waiter := mt.Fork("interruptee", func(c *sched.Thread) {
+			c.LockAcquire(mon, sAcq)
+			c.MonitorWait(mon, sWait) // ended by interrupt -> InterruptedException
+			c.LockRelease(mon, sRel)
+		})
+		spinner := mt.Fork("spinner", func(c *sched.Thread) {
+			for i := 0; i < 4; i++ {
+				c.Nop(sWork)
+			}
+			if c.IsInterrupted() {
+				c.ClearInterrupt()
+			}
+			for i := 0; i < 3; i++ {
+				c.Nop(sWork)
+			}
+		})
+		thrower := mt.Fork("thrower", func(c *sched.Thread) {
+			c.LockAcquire(mon, sAcq)
+			c.LockAcquire(mon, sAcq) // reentrant
+			c.LockRelease(mon, sRel)
+			c.Nop(sThrow)
+			c.Throw(errGoldenBoom) // dies holding one level of mon
+		})
+
+		for i := 0; i < 3; i++ {
+			mt.Nop(sWork)
+		}
+		mt.Interrupt(spinner)
+		mt.LockAcquire(mon, sAcq)
+		mt.MemWrite(box, sProduce)
+		mt.MemWrite(flagLoc, sFlag)
+		ready = true
+		mt.MonitorNotify(mon, sNotify)
+		mt.MonitorNotifyAll(mon, sNotifyAll)
+		mt.LockRelease(mon, sRel)
+		mt.Interrupt(waiter)
+		mt.Join(consumers[0])
+		mt.Join(consumers[1])
+		mt.Join(waiter)
+		mt.Join(spinner)
+		mt.Join(thrower)
+	}
+}
+
+// goldenAbba is the classic ABBA deadlock: two threads acquire two locks in
+// opposite orders with a little padding work, deadlocking under directed
+// (and occasionally random) scheduling.
+func goldenAbba() Program {
+	sA := event.StmtFor("ga:a")
+	sB := event.StmtFor("ga:b")
+	sW := event.StmtFor("ga:w")
+	return func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		l1 := s.NewLock("L1")
+		l2 := s.NewLock("L2")
+		a := mt.Fork("a", func(c *sched.Thread) {
+			c.Nop(sW)
+			c.LockAcquire(l1, sA)
+			c.Nop(sW)
+			c.LockAcquire(l2, sA)
+			c.LockRelease(l2, sA)
+			c.LockRelease(l1, sA)
+		})
+		b := mt.Fork("b", func(c *sched.Thread) {
+			c.Nop(sW)
+			c.LockAcquire(l2, sB)
+			c.Nop(sW)
+			c.LockAcquire(l1, sB)
+			c.LockRelease(l1, sB)
+			c.LockRelease(l2, sB)
+		})
+		mt.Join(a)
+		mt.Join(b)
+	}
+}
+
+// goldenLostUpdate is the unlocked read-modify-write block the atomicity
+// pipeline targets, with a locked counter alongside for contrast.
+func goldenLostUpdate() Program {
+	rStmt := event.StmtFor("glu:read")
+	wStmt := event.StmtFor("glu:write")
+	lr := event.StmtFor("glu:lockedread")
+	lw := event.StmtFor("glu:lockedwrite")
+	acq := event.StmtFor("glu:acq")
+	rel := event.StmtFor("glu:rel")
+	return func(mt *sched.Thread) {
+		s := mt.Scheduler()
+		loc := s.NewLoc("counter")
+		safeLoc := s.NewLoc("safe")
+		lk := s.NewLock("L")
+		counter, safe := 0, 0
+		body := func(c *sched.Thread) {
+			c.MemRead(loc, rStmt)
+			v := counter
+			c.MemWrite(loc, wStmt)
+			counter = v + 1
+
+			c.LockAcquire(lk, acq)
+			c.MemRead(safeLoc, lr)
+			sv := safe
+			c.MemWrite(safeLoc, lw)
+			safe = sv + 1
+			c.LockRelease(lk, rel)
+		}
+		a := mt.Fork("a", body)
+		b := mt.Fork("b", body)
+		mt.Join(a)
+		mt.Join(b)
+	}
+}

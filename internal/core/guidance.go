@@ -107,7 +107,7 @@ func (p *DeadlockDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision
 			Loc: event.NoLoc, Lock: op.Lock})
 		return sched.Decision{}
 	}
-	return sched.Grant(t)
+	return v.Grant(t)
 }
 
 // AtomicityTarget describes a suspected atomicity violation: a thread's
@@ -278,7 +278,7 @@ func (p *AtomicityDirectedPolicy) Step(v *sched.View, r *rng.Rand) sched.Decisio
 			Stmt: op.Stmt, Loc: op.Loc, LocName: v.LocName(op.Loc), Lock: event.NoLock})
 		return sched.Decision{}
 	}
-	return sched.Grant(t)
+	return v.Grant(t)
 }
 
 // sortedPostponedKeys returns the postponed set in thread order for

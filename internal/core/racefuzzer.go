@@ -244,7 +244,7 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 		if op.IsMem() && p.inRaceSet(op.Stmt) {
 			p.tracked++
 		}
-		return sched.Grant(t)
+		return v.Grant(t)
 	}
 	// if NextStmt(s, t) ∈ RaceSet   (line 6)
 	if op.IsMem() && p.inRaceSet(op.Stmt) {
@@ -286,7 +286,7 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 				rec.CandidateFirst = true
 				p.races = append(p.races, rec)
 				p.tracked++
-				return sched.Grant(t) // line 12
+				return v.Grant(t) // line 12
 			}
 			p.races = append(p.races, rec)
 			p.postponed[t] = v.Step // line 14
@@ -307,5 +307,5 @@ func (p *RaceFuzzerPolicy) Step(v *sched.View, r *rng.Rand) sched.Decision {
 		return sched.Decision{}
 	}
 	// Trivial case: execute the next statement (line 24).
-	return sched.Grant(t)
+	return v.Grant(t)
 }

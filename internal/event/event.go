@@ -124,10 +124,25 @@ func (s Stmt) String() string {
 // analogue of the paper's bytecode-level statement identity: two textual
 // occurrences of an access in the model program get distinct labels.
 func CallerStmt(skip int) Stmt {
-	_, file, line, ok := runtime.Caller(skip + 1)
-	if !ok {
+	// A program counter identifies one call site, which always resolves to
+	// the same file:line — so the formatted, interned label can be cached by
+	// pc. Fork/Join/Interrupt call this on every execution of a model
+	// program; the cache (and using Callers rather than the allocating
+	// runtime.Caller) makes repeat visits allocation-free.
+	var pcbuf [1]uintptr
+	if runtime.Callers(skip+2, pcbuf[:]) == 0 {
 		return NoStmt
 	}
+	pc := pcbuf[0]
+	callerStmtCache.RLock()
+	s, hit := callerStmtCache.m[pc]
+	callerStmtCache.RUnlock()
+	if hit {
+		return s
+	}
+	frames := runtime.CallersFrames(pcbuf[:])
+	frame, _ := frames.Next()
+	file := frame.File
 	// Keep the trailing two path segments: enough to be unique and stable,
 	// short enough to read in reports.
 	if i := strings.LastIndexByte(file, '/'); i >= 0 {
@@ -135,8 +150,20 @@ func CallerStmt(skip int) Stmt {
 			file = file[j+1:]
 		}
 	}
-	return StmtFor(fmt.Sprintf("%s:%d", file, line))
+	s = StmtFor(fmt.Sprintf("%s:%d", file, frame.Line))
+	callerStmtCache.Lock()
+	callerStmtCache.m[pc] = s
+	callerStmtCache.Unlock()
+	return s
 }
+
+// callerStmtCache memoizes CallerStmt by call-site program counter. Like the
+// statement table it is global and append-only; a typed map is used (rather
+// than sync.Map) so the hit path does not box the uintptr key.
+var callerStmtCache = struct {
+	sync.RWMutex
+	m map[uintptr]Stmt
+}{m: map[uintptr]Stmt{}}
 
 // StmtPair is an unordered pair of statements — the unit phase 1 reports
 // and phase 2 takes as its RaceSet. Construction normalizes the order so

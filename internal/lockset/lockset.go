@@ -121,6 +121,13 @@ func (s Set) Slice() []event.LockID {
 	return out
 }
 
+// Members returns the set's ids in ascending order WITHOUT copying. The
+// returned slice is the set's internal storage: callers must treat it as
+// read-only. It is safe to retain — Add and Remove build fresh slices, so a
+// handed-out slice is never mutated. This is the allocation-free accessor
+// the scheduler's event emission uses (one per MEM/LOCK event otherwise).
+func (s Set) Members() []event.LockID { return s.ids }
+
 // Equal reports set equality.
 func (s Set) Equal(o Set) bool {
 	if len(s.ids) != len(o.ids) {

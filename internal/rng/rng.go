@@ -27,6 +27,16 @@ func New(seed int64) *Rand {
 	return r
 }
 
+// Reset reinitializes r to the exact state New(seed) constructs — same
+// stream, same draw count — reusing the allocation. It exists for pooled
+// schedulers (internal/sched) that run millions of trials without per-trial
+// garbage.
+func (r *Rand) Reset(seed int64) {
+	r.state = uint64(seed)
+	r.draws = 0
+	r.Uint64()
+}
+
 // Uint64 returns the next 64 uniformly distributed bits (SplitMix64).
 func (r *Rand) Uint64() uint64 {
 	r.draws++
@@ -97,6 +107,14 @@ func Shuffle[T any](r *Rand, xs []T) {
 // their own streams without coupling them to scheduling decisions.
 func (r *Rand) Split() *Rand {
 	return &Rand{state: r.Uint64() ^ 0xa5a5a5a5deadbeef}
+}
+
+// SplitInto is Split writing the child stream into dst (allocation-free).
+// It consumes the same single parent draw as Split and leaves dst with a
+// zero draw count, so the two are interchangeable for replay accounting.
+func (r *Rand) SplitInto(dst *Rand) {
+	dst.state = r.Uint64() ^ 0xa5a5a5a5deadbeef
+	dst.draws = 0
 }
 
 // Draws returns the number of raw 64-bit draws consumed so far (including

@@ -1,0 +1,96 @@
+package sched
+
+import "racefuzzer/internal/event"
+
+// Single-runnable fast path ("trampoline"). When a parking thread makes the
+// system quiescent, it runs the controller's scheduling round itself, on its
+// own goroutine, under the scheduler mutex. If the policy grants that same
+// thread — the overwhelmingly common case in phase-2 directed runs, where
+// one thread executes long stretches alone — the park returns immediately:
+// no wakeup, no controller round trip, no goroutine switch at all.
+// Consecutive grants to a lone runnable thread thus fuse into plain function
+// calls on the thread's own stack.
+//
+// Determinism is preserved because the trampoline IS the controller round:
+// it calls the same pollIntrospect / enabledThreads / policy.Step /
+// recordDecision / prof probes in the same order, consuming the same RNG
+// draws. When the decision is anything it cannot apply itself (another
+// thread, a multi-grant batch, a fork, or termination), it hands the
+// already-recorded decision to the controller verbatim — the controller
+// adopts it without re-deciding, so each round is decided exactly once no
+// matter which goroutine ran it.
+
+// tryInline attempts to drive scheduling rounds on t's own goroutine after
+// t's park made the system quiescent. It returns true if t itself was
+// granted (t's park returns without blocking); false if the controller must
+// take over — either a handed-off decision is pending or the round reached a
+// state (termination, step limit) only the controller handles. Called with
+// s.mu held and s.inFlight == 0.
+func (s *Scheduler) tryInline(t *Thread) bool {
+	if s.batchLeft != 0 || s.abortedRun || s.handoffGrants != nil {
+		// Mid-batch quiescence or shutdown: the controller owns the round.
+		return false
+	}
+	for {
+		s.pollIntrospect()
+		enabled := s.enabledThreads()
+		if len(enabled) == 0 || s.steps >= s.maxSteps {
+			// Termination (deadlock, normal exit, step limit): bail before
+			// consuming any randomness — the controller re-derives the same
+			// condition from the same state and finalizes.
+			return false
+		}
+		if s.metrics != nil {
+			s.metrics.ObserveEnabled(len(enabled))
+		}
+		s.view.Step = s.steps
+		s.view.Enabled = enabled
+		dec := s.policy.Step(&s.view, s.rng)
+		s.recordDecision(enabled, dec.Grants, false)
+		if s.prof != nil {
+			s.prof.Round(len(enabled), len(dec.Grants))
+		}
+		if len(dec.Grants) == 0 {
+			s.emptyRounds++
+			if s.emptyRounds > 2*len(s.threads)+16 {
+				s.stalls++
+				s.grantBuf[0] = enabled[s.rng.Intn(len(enabled))]
+				forced := s.grantBuf[:1]
+				s.recordDecision(enabled, forced, true)
+				if s.prof != nil {
+					s.prof.ForcedGrant()
+				}
+				s.emptyRounds = 0
+				if forced[0] == t.id && t.pending.Kind != OpFork {
+					s.applyGrant(t)
+					return true
+				}
+				s.handoff(forced)
+				return false
+			}
+			continue
+		}
+		s.emptyRounds = 0
+		if len(dec.Grants) == 1 && dec.Grants[0] == t.id &&
+			t.pending.Kind != OpFork && s.isEnabled(t.id) {
+			// The policy granted the parking thread itself: apply the op and
+			// let park return into the thread's own stack. Forks are
+			// excluded — starting the child mid-park would put two
+			// goroutines in flight from inside one; the controller path
+			// handles that case identically, just slower.
+			s.applyGrant(t)
+			return true
+		}
+		s.handoff(dec.Grants)
+		return false
+	}
+}
+
+// handoff publishes an inline-decided grant batch for the controller to
+// apply verbatim. The batch is copied into a scheduler-owned buffer: the
+// source slice may be policy scratch (or s.grantBuf) that later rounds
+// overwrite.
+func (s *Scheduler) handoff(g []event.ThreadID) {
+	s.handoffBuf = append(s.handoffBuf[:0], g...)
+	s.handoffGrants = s.handoffBuf
+}

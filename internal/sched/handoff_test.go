@@ -1,0 +1,335 @@
+package sched
+
+// Tests for the channel-free grant engine: handoff storms that hammer the
+// mutex/condvar protocol (meant to run under -race), a fuzz-style
+// determinism check over generated programs, and regressions for the
+// force-release order of a dying thread's locks and for round counting
+// without a flight recorder.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/rng"
+)
+
+// flightLog is a test FlightObserver that renders every decision and action
+// to strings, giving a comparable full causal trace without importing
+// flightrec (which depends on this package).
+type flightLog struct {
+	lines []string
+}
+
+func (f *flightLog) OnDecision(d DecisionRecord) { f.lines = append(f.lines, d.String()) }
+func (f *flightLog) OnAction(a ActionRecord)     { f.lines = append(f.lines, a.String()) }
+
+// stormProgram builds a width-w program that stresses every handoff path at
+// once: workers contend on a shared monitor with wait/notify, the main
+// thread interrupts both waiting and running workers, and every thread
+// performs interleaved memory ops and nops so the enabled set keeps
+// changing shape.
+func stormProgram(w int) func(*Thread) {
+	sW := stmt("storm:w")
+	sAcq := stmt("storm:acq")
+	sRel := stmt("storm:rel")
+	sWait := stmt("storm:wait")
+	sSig := stmt("storm:sig")
+	return func(mt *Thread) {
+		s := mt.Scheduler()
+		mon := s.NewLock("mon")
+		loc := s.NewLoc("cell")
+		pending := 0
+		workers := make([]*Thread, w)
+		for i := range workers {
+			workers[i] = mt.Fork(fmt.Sprintf("w%d", i), func(c *Thread) {
+				for r := 0; r < 4; r++ {
+					c.Nop(sW)
+					c.LockAcquire(mon, sAcq)
+					c.MemWrite(loc, sW)
+					pending++
+					c.MonitorNotify(mon, sSig)
+					c.LockRelease(mon, sRel)
+					if c.IsInterrupted() {
+						c.ClearInterrupt()
+					}
+				}
+			})
+		}
+		waiter := mt.Fork("waiter", func(c *Thread) {
+			c.LockAcquire(mon, sAcq)
+			for pending < w {
+				c.MemRead(loc, sW)
+				func() {
+					defer func() {
+						// An interrupt may end the wait; swallow it and keep
+						// waiting — the storm interrupts indiscriminately. The
+						// monitor is held again when the wait throws, so the
+						// loop can simply re-check the predicate.
+						if r := recover(); r != nil {
+							mp, ok := r.(modelPanic)
+							if !ok || !errors.Is(mp.err, ErrInterruptedWait) {
+								panic(r)
+							}
+						}
+					}()
+					c.MonitorWait(mon, sWait)
+				}()
+			}
+			c.LockRelease(mon, sRel)
+		})
+		for i := 0; i < 2*w; i++ {
+			mt.Nop(sW)
+			mt.Interrupt(workers[i%w])
+		}
+		mt.Interrupt(waiter)
+		for _, wk := range workers {
+			mt.Join(wk)
+		}
+		mt.LockAcquire(mon, sAcq)
+		mt.MonitorNotifyAll(mon, sSig)
+		mt.LockRelease(mon, sRel)
+		mt.Join(waiter)
+	}
+}
+
+// TestHandoffStorm runs the storm at widths 1, 4 and 8 across seeds. Under
+// -race this exercises the spin fast path, the condvar slow path, the inline
+// trampoline and controller handoff adoption concurrently.
+func TestHandoffStorm(t *testing.T) {
+	for _, w := range []int{1, 4, 8} {
+		w := w
+		t.Run(fmt.Sprintf("width=%d", w), func(t *testing.T) {
+			for seed := int64(1); seed <= 25; seed++ {
+				res := Run(stormProgram(w), Config{Seed: seed, Name: "storm"})
+				if res.Deadlock != nil {
+					t.Fatalf("width %d seed %d: unexpected %v", w, seed, res.Deadlock)
+				}
+				if res.Aborted {
+					t.Fatalf("width %d seed %d: aborted after %d steps", w, seed, res.Steps)
+				}
+				for _, ex := range res.Exceptions {
+					t.Fatalf("width %d seed %d: unexpected exception %v", w, seed, ex)
+				}
+			}
+		})
+	}
+}
+
+// TestShutdownStorm aborts executions by step limit while threads sit in
+// every blocked state (lock-blocked, waiting, join-blocked): the shutdown
+// unwind must terminate every goroutine without leaks or races.
+func TestShutdownStorm(t *testing.T) {
+	for _, w := range []int{1, 4, 8} {
+		for seed := int64(1); seed <= 25; seed++ {
+			res := Run(stormProgram(w), Config{Seed: seed, MaxSteps: 20 + int(seed)})
+			if !res.Aborted && res.Steps > 20+int(seed) {
+				t.Fatalf("width %d seed %d: ran %d steps past limit", w, seed, res.Steps)
+			}
+		}
+	}
+}
+
+// genProgram deterministically generates a random model program from g:
+// a random number of workers executing random op sequences over shared
+// locks and locations, with occasional nested forks, throws and interrupts.
+// Equal generator seeds build behaviorally identical programs.
+func genProgram(genSeed int64) func(*Thread) {
+	sOp := stmt("gen:op")
+	return func(mt *Thread) {
+		g := rng.New(genSeed)
+		s := mt.Scheduler()
+		nLocks := 1 + g.Intn(3)
+		nLocs := 1 + g.Intn(3)
+		locks := make([]event.LockID, nLocks)
+		for i := range locks {
+			locks[i] = s.NewLock(fmt.Sprintf("L%d", i))
+		}
+		locs := make([]event.MemLoc, nLocs)
+		for i := range locs {
+			locs[i] = s.NewLoc(fmt.Sprintf("x%d", i))
+		}
+		var body func(depth int) func(*Thread)
+		body = func(depth int) func(*Thread) {
+			// Pre-draw the op script so every fork body is a pure function
+			// of the generator stream, independent of schedule order.
+			n := 3 + g.Intn(8)
+			script := make([][2]int, n)
+			for i := range script {
+				script[i] = [2]int{g.Intn(10), g.Intn(nLocks * nLocs)}
+			}
+			forkChild := depth < 2 && g.Bool()
+			var childBody func(*Thread)
+			if forkChild {
+				childBody = body(depth + 1)
+			}
+			throwAtEnd := g.Intn(4) == 0
+			return func(c *Thread) {
+				var kid *Thread
+				if forkChild {
+					kid = c.Fork("kid", childBody)
+				}
+				held := -1
+				for _, op := range script {
+					lk := locks[op[1]%nLocks]
+					lc := locs[op[1]%nLocs]
+					switch op[0] {
+					case 0, 1:
+						c.MemRead(lc, sOp)
+					case 2, 3:
+						c.MemWrite(lc, sOp)
+					case 4:
+						if held < 0 {
+							c.LockAcquire(lk, sOp)
+							held = int(lk)
+						}
+					case 5:
+						if held >= 0 {
+							c.LockRelease(event.LockID(held), sOp)
+							held = -1
+						}
+					case 6:
+						if kid != nil {
+							c.Interrupt(kid)
+						}
+					case 7:
+						if c.IsInterrupted() {
+							c.ClearInterrupt()
+						}
+					default:
+						c.Nop(sOp)
+					}
+				}
+				if held >= 0 && !throwAtEnd {
+					c.LockRelease(event.LockID(held), sOp)
+				}
+				if kid != nil {
+					c.Join(kid)
+				}
+				if throwAtEnd {
+					c.Throw(errors.New("gen: die"))
+				}
+			}
+		}
+		nWorkers := 1 + g.Intn(4)
+		kids := make([]*Thread, nWorkers)
+		bodies := make([]func(*Thread), nWorkers)
+		for i := range kids {
+			bodies[i] = body(0)
+		}
+		for i := range kids {
+			kids[i] = mt.Fork("worker", bodies[i])
+		}
+		for _, k := range kids {
+			mt.Join(k)
+		}
+	}
+}
+
+// traceRun executes one generated program and returns its full causal
+// record: every event, every decision (with RNG draw counts), and the
+// Result rendered to text.
+func traceRun(genSeed, schedSeed int64) string {
+	rec := &recorder{}
+	fl := &flightLog{}
+	res := Run(genProgram(genSeed), Config{
+		Seed: schedSeed, Observers: []Observer{rec}, Flight: fl, Name: "gen",
+	})
+	var b strings.Builder
+	for _, l := range rec.lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, l := range fl.lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "steps=%d threads=%d rounds=%d stalls=%d aborted=%v exceptions=%d deadlock=%v\n",
+		res.Steps, res.Threads, res.Rounds, res.PolicyStalls, res.Aborted, len(res.Exceptions),
+		res.Deadlock != nil)
+	return b.String()
+}
+
+// TestGeneratedProgramDeterminism is the fuzz-style replay check: random
+// programs, each run twice with the same seed, must produce byte-identical
+// causal records — events, decisions, draw counts, and Result. This is the
+// paper's lightweight-replay guarantee exercised across the fast path,
+// handoff, thread death with held locks, and interrupts.
+func TestGeneratedProgramDeterminism(t *testing.T) {
+	for genSeed := int64(1); genSeed <= 30; genSeed++ {
+		for _, schedSeed := range []int64{3, 77} {
+			a := traceRun(genSeed, schedSeed)
+			b := traceRun(genSeed, schedSeed)
+			if a != b {
+				t.Fatalf("gen %d seed %d: two runs diverged\n--- first:\n%s\n--- second:\n%s",
+					genSeed, schedSeed, a, b)
+			}
+		}
+	}
+}
+
+// TestThreadDeathReleasesLocksInOrder pins the force-release order of a
+// thread that dies holding multiple locks: the unlock events must appear in
+// ascending lock-ID order on every run. (The pre-fix implementation iterated
+// a Go map, so the order — and therefore replayed traces — varied between
+// runs of the same seed.)
+func TestThreadDeathReleasesLocksInOrder(t *testing.T) {
+	sAcq := stmt("rel:acq")
+	prog := func(mt *Thread) {
+		s := mt.Scheduler()
+		l0 := s.NewLock("A")
+		l1 := s.NewLock("B")
+		child := mt.Fork("dying", func(c *Thread) {
+			// Acquire in descending ID order so ascending release order can't
+			// come from acquisition order by accident.
+			c.LockAcquire(l1, sAcq)
+			c.LockAcquire(l0, sAcq)
+			c.Throw(errors.New("boom"))
+		})
+		mt.Join(child)
+	}
+	for seed := int64(1); seed <= 50; seed++ {
+		rec := &recorder{}
+		res := Run(prog, Config{Seed: seed, Observers: []Observer{rec}})
+		if len(res.Exceptions) != 1 {
+			t.Fatalf("seed %d: exceptions = %v", seed, res.Exceptions)
+		}
+		var rels []string
+		for _, l := range rec.lines {
+			if strings.Contains(l, "UNLOCK") {
+				rels = append(rels, l)
+			}
+		}
+		if len(rels) != 2 {
+			t.Fatalf("seed %d: want 2 forced releases, got %v", seed, rels)
+		}
+		if !strings.Contains(rels[0], "UNLOCK(L0") || !strings.Contains(rels[1], "UNLOCK(L1") {
+			t.Fatalf("seed %d: forced releases out of ascending lock order: %v", seed, rels)
+		}
+	}
+}
+
+// TestRoundsCountedWithoutRecorder pins the decision-round counter fix: the
+// counter must advance identically whether or not a flight observer is
+// attached (it used to advance only inside the recorder delivery path).
+func TestRoundsCountedWithoutRecorder(t *testing.T) {
+	var final int
+	plain := Run(counterProgram(3, 10, &final), Config{Seed: 9})
+	fl := &flightLog{}
+	recorded := Run(counterProgram(3, 10, &final), Config{Seed: 9, Flight: fl})
+	if plain.Rounds == 0 {
+		t.Fatal("Rounds not counted without a recorder")
+	}
+	if plain.Rounds != recorded.Rounds {
+		t.Fatalf("Rounds depends on observer wiring: %d without recorder, %d with",
+			plain.Rounds, recorded.Rounds)
+	}
+	if got := len(fl.lines); got != recorded.Rounds {
+		t.Fatalf("recorder saw %d decisions, Result.Rounds = %d", got, recorded.Rounds)
+	}
+	if plain.Steps != recorded.Steps {
+		t.Fatalf("recorder perturbed the schedule: steps %d vs %d", plain.Steps, recorded.Steps)
+	}
+}

@@ -28,7 +28,7 @@ func (v *View) IsEnabled(t event.ThreadID) bool { return v.sched.isEnabled(t) }
 func (v *View) IsAlive(t event.ThreadID) bool { return v.sched.threads[t].status != tsDead }
 
 // AliveCount returns |Alive(s)|.
-func (v *View) AliveCount() int { return len(v.sched.aliveThreads()) }
+func (v *View) AliveCount() int { return v.sched.aliveCount() }
 
 // Threads returns the number of threads created so far.
 func (v *View) Threads() int { return len(v.sched.threads) }
@@ -62,8 +62,21 @@ type Decision struct {
 	Grants []event.ThreadID
 }
 
-// Grant is shorthand for a single-thread decision.
+// Grant is shorthand for a single-thread decision. It allocates the
+// one-element grant slice; policies on the hot path should prefer the
+// allocation-free View.Grant.
 func Grant(t event.ThreadID) Decision { return Decision{Grants: []event.ThreadID{t}} }
+
+// Grant builds a single-thread decision in the scheduler's reusable grant
+// buffer — the allocation-free equivalent of the package-level Grant. The
+// returned decision is valid for the current round only: the buffer is
+// overwritten at the next scheduling round (the scheduler finishes reading
+// it before any policy runs again). Policies that return multi-thread
+// batches, or retain decisions, must allocate their own slices.
+func (v *View) Grant(t event.ThreadID) Decision {
+	v.sched.grantBuf[0] = t
+	return Decision{Grants: v.sched.grantBuf[:1]}
+}
 
 // Policy chooses which enabled thread(s) execute at each quiescent point.
 // Implementations draw randomness exclusively from the provided generator so
@@ -89,7 +102,7 @@ func (*RandomPolicy) Name() string { return "random" }
 
 // Step implements Policy.
 func (*RandomPolicy) Step(v *View, r *rng.Rand) Decision {
-	return Grant(v.Enabled[r.Intn(len(v.Enabled))])
+	return v.Grant(v.Enabled[r.Intn(len(v.Enabled))])
 }
 
 // RunToBlockPolicy emulates a conventional (JVM/OS-default-like) scheduler:
@@ -122,13 +135,13 @@ func (p *RunToBlockPolicy) Step(v *View, r *rng.Rand) Decision {
 	if p.started {
 		for _, t := range v.Enabled {
 			if t == p.current {
-				return Grant(t)
+				return v.Grant(t)
 			}
 		}
 	}
 	p.current = v.Enabled[r.Intn(len(v.Enabled))]
 	p.started = true
-	return Grant(p.current)
+	return v.Grant(p.current)
 }
 
 // QuantumPolicy emulates a time-sliced OS/JVM scheduler: threads run
@@ -164,7 +177,7 @@ func (p *QuantumPolicy) Step(v *View, r *rng.Rand) Decision {
 		for _, t := range v.Enabled {
 			if t == p.current {
 				p.used++
-				return Grant(t)
+				return v.Grant(t)
 			}
 		}
 	}
@@ -190,7 +203,7 @@ func (p *QuantumPolicy) Step(v *View, r *rng.Rand) Decision {
 	p.used = 1
 	p.limit = q + r.Intn(q) // jittered slice length
 	p.started = true
-	return Grant(next)
+	return v.Grant(next)
 }
 
 // SequentialPolicy always runs the lowest-numbered enabled thread: a fully
@@ -203,5 +216,5 @@ func (SequentialPolicy) Name() string { return "sequential" }
 
 // Step implements Policy.
 func (SequentialPolicy) Step(v *View, r *rng.Rand) Decision {
-	return Grant(v.Enabled[0])
+	return v.Grant(v.Enabled[0])
 }

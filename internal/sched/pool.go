@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"sync"
+
+	"racefuzzer/internal/event"
+	"racefuzzer/internal/lockset"
+)
+
+// Trial-state pooling. Fuzzing campaigns run millions of short executions;
+// building a Scheduler, its Thread structs, lock tables and scratch buffers
+// fresh each time dominates the allocation profile. Run instead draws whole
+// Scheduler trees from a sync.Pool: reset re-arms one for a new execution
+// reusing every capacity it accumulated, release scrubs the references that
+// must not leak between runs (closures, panic values, per-run config) before
+// the tree goes back in the pool.
+//
+// Reuse is safe because a Scheduler leaves Run fully quiescent: every model
+// goroutine has terminated, and a dying goroutine touches no Thread or
+// Scheduler state after its final unlock in exitPark.
+
+// defaultPolicy is the shared stateless fallback for Config.Policy == nil.
+var defaultPolicy = &RandomPolicy{}
+
+var schedulerPool = sync.Pool{
+	New: func() any {
+		s := &Scheduler{}
+		s.ctrlCond.L = &s.mu
+		return s
+	},
+}
+
+func getScheduler() *Scheduler { return schedulerPool.Get().(*Scheduler) }
+
+func putScheduler(s *Scheduler) {
+	s.release()
+	schedulerPool.Put(s)
+}
+
+// reset re-arms a pooled (or fresh) Scheduler for one execution under cfg.
+// Everything that escapes into the Result (exceptions, deadlock info) is set
+// to nil rather than truncated: those slices are owned by the caller of the
+// previous run.
+func (s *Scheduler) reset(cfg Config) {
+	s.cfg = cfg
+	s.rngv.Reset(cfg.Seed)
+	s.rng = &s.rngv
+	s.rng.SplitInto(&s.workv)
+	s.workRand = &s.workv
+	s.policy = cfg.Policy
+	if s.policy == nil {
+		s.policy = defaultPolicy
+	}
+	s.maxSteps = cfg.MaxSteps
+	if s.maxSteps <= 0 {
+		s.maxSteps = DefaultMaxSteps
+	}
+	s.observers = append(s.observers[:0], cfg.Observers...)
+	s.flight = cfg.Flight
+	s.prof = cfg.Prof
+	s.metrics = cfg.Metrics
+	if o, ok := cfg.Flight.(Observer); ok {
+		s.observers = append(s.observers, o)
+	}
+	if s.metrics != nil {
+		// Telemetry rides the observer stream for events-by-kind; the
+		// remaining probes are explicit calls on the controller path.
+		s.observers = append(s.observers, s.metrics)
+	}
+
+	s.threads = s.threads[:0]
+	s.locks = s.locks[:0]
+	s.locNames = s.locNames[:0]
+	s.locOwner = s.locOwner[:0]
+
+	s.rounds = 0
+	s.inspSlot = nil
+	s.finalSnap = nil
+	s.steps = 0
+	s.inFlight = 0
+	s.aborted.Store(false)
+	s.lastGranted = event.NoThread
+	s.switches = 0
+	s.nextMsg = 0
+	s.exceptions = nil
+	s.stalls = 0
+	s.deadlock = nil
+	s.abortedRun = false
+
+	s.view = View{sched: s}
+	s.emptyRounds = 0
+	s.batchLeft = 0
+	s.handoffGrants = nil
+}
+
+// release scrubs references a pooled Scheduler must not carry between runs.
+// Capacities (thread structs, lock tables, scratch buffers) are kept — they
+// are the point of pooling.
+func (s *Scheduler) release() {
+	s.cfg = Config{}
+	s.policy = nil
+	s.observers = s.observers[:0]
+	s.flight = nil
+	s.prof = nil
+	s.metrics = nil
+	s.inspSlot = nil
+	s.finalSnap = nil
+	s.exceptions = nil
+	s.deadlock = nil
+	s.handoffGrants = nil
+	s.view = View{}
+	// Scrub the whole backing array, not just the last run's prefix: threads
+	// beyond len carry state from an even earlier, longer run.
+	all := s.threads[:cap(s.threads)]
+	for _, t := range all {
+		if t == nil {
+			continue
+		}
+		t.pending = Op{} // drops fork-body closures
+		t.poison = nil
+		t.forkResult = nil
+		t.panicVal = nil
+		t.panicStack = ""
+		t.held = lockset.Empty()
+	}
+}

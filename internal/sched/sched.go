@@ -14,12 +14,20 @@
 //     (internal/core); uniform random scheduling is the baseline.
 //   - Observer receives the event stream (MEM/SND/RCV/LOCK/UNLOCK) used by
 //     the hybrid and happens-before race detectors (phase 1).
+//
+// The grant engine is allocation-free in steady state: the controller hands
+// steps to threads over a mutex/condvar protocol with a spin fast path
+// (thread.go), a single-runnable thread runs consecutive rounds inline
+// without any goroutine switch (fastpath.go), per-round scratch (enabled
+// set, View, grant buffer) lives on the Scheduler, and whole Scheduler/
+// Thread trees are recycled through a sync.Pool across runs (pool.go).
 package sched
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -83,7 +91,7 @@ type Config struct {
 	// Prof, when non-nil, records the run's performance timeline: per-grant
 	// wait and service latency, enabled-set sizes, decision rounds and
 	// phase marks (internal/schedprof). Recording is clock reads plus
-	// writes into the trial's preallocated rings on the controller
+	// writes into the trial's preallocated rings on the granting
 	// goroutine, so it never perturbs the schedule; nil costs one nil check
 	// per probe site, mirroring Metrics/Flight/Introspect.
 	Prof *schedprof.Trial
@@ -140,25 +148,43 @@ type Result struct {
 	Deadlock     *DeadlockInfo
 	Aborted      bool // hit MaxSteps (or external stop)
 	PolicyStalls int  // times the scheduler force-granted past an empty policy decision
+	// Rounds counts scheduling rounds (policy consultations, including
+	// forced re-decisions). Unlike Steps it advances on empty decisions too,
+	// and it is counted whether or not a flight recorder is attached.
+	Rounds int
 	// Stats carries the run's telemetry snapshot; nil unless Config.Metrics
 	// was attached.
 	Stats *obs.RunStats
 }
 
-// Scheduler drives one execution. Create with Run; a Scheduler is not
-// reusable across executions.
+// Scheduler drives one execution. Create with Run; a Scheduler must not be
+// used across executions by callers (Run recycles them internally through a
+// pool once a run has fully terminated).
 type Scheduler struct {
 	cfg       Config
+	rngv      rng.Rand // scheduling stream storage (rng points here)
+	workv     rng.Rand // workload stream storage (workRand points here)
 	rng       *rng.Rand
 	workRand  *rng.Rand
 	policy    Policy
 	observers []Observer
 	maxSteps  int
 
-	parkCh   chan *Thread
+	// mu serializes all scheduler state. The controller goroutine and model
+	// threads hand execution to one another under it: ctrlCond is where the
+	// controller awaits quiescence (inFlight == 0); each Thread carries its
+	// own grant condvar sharing mu (see Thread.awaitGrant for the spin fast
+	// path that usually skips the condvar entirely).
+	mu       sync.Mutex
+	ctrlCond sync.Cond
+
 	threads  []*Thread
 	locks    []lockState
 	locNames []string
+	// locOwner parallels locNames: -1 for ordinary locations, else the
+	// owning thread index of a lazily named interrupt-status location (the
+	// name is formatted in LocName on demand instead of per-thread per-run).
+	locOwner []int32
 
 	flight    FlightObserver
 	prof      *schedprof.Trial
@@ -174,45 +200,39 @@ type Scheduler struct {
 	switches    int
 
 	nextMsg    event.MsgID
-	exitMsg    map[event.ThreadID]event.MsgID
 	exceptions []Exception
 	stalls     int
 	deadlock   *DeadlockInfo
 	abortedRun bool
+
+	// Per-round scratch, reused so steady-state rounds allocate nothing.
+	enabledBuf []event.ThreadID // enabledThreads result
+	grantBuf   [1]event.ThreadID
+	waitBuf    []*Thread // waitSet result
+	aliveBuf   []*Thread // aliveThreads result
+	view       View
+
+	// Inline fast-path state (fastpath.go). emptyRounds is the consecutive
+	// empty-decision counter (shared by the controller loop and the inline
+	// trampoline so the forced-progress grace period is path-independent).
+	// batchLeft is how many grants of the controller's current decision
+	// remain after the grant in progress: the trampoline only runs when it
+	// is zero, i.e. the controller is between decisions. handoffGrants is a
+	// decision made inline that the inline thread could not apply itself;
+	// the controller adopts it verbatim (no re-decide, no re-record).
+	emptyRounds   int
+	batchLeft     int
+	handoffGrants []event.ThreadID
+	handoffBuf    []event.ThreadID
 }
 
 // Run executes main as the body of thread T0 under cfg and returns the
 // execution's Result. It always returns with every model goroutine
 // terminated (no leaks), including on deadlock and step-limit abort.
 func Run(main func(*Thread), cfg Config) *Result {
-	s := &Scheduler{
-		cfg:         cfg,
-		rng:         rng.New(cfg.Seed),
-		policy:      cfg.Policy,
-		maxSteps:    cfg.MaxSteps,
-		parkCh:      make(chan *Thread),
-		exitMsg:     make(map[event.ThreadID]event.MsgID),
-		metrics:     cfg.Metrics,
-		lastGranted: event.NoThread,
-	}
-	s.workRand = s.rng.Split()
-	if s.policy == nil {
-		s.policy = NewRandomPolicy()
-	}
-	if s.maxSteps <= 0 {
-		s.maxSteps = DefaultMaxSteps
-	}
-	s.observers = append(s.observers, cfg.Observers...)
-	s.flight = cfg.Flight
-	s.prof = cfg.Prof
-	if o, ok := cfg.Flight.(Observer); ok {
-		s.observers = append(s.observers, o)
-	}
-	if s.metrics != nil {
-		// Telemetry rides the observer stream for events-by-kind; the
-		// remaining probes are explicit calls on the controller path.
-		s.observers = append(s.observers, s.metrics)
-	}
+	s := getScheduler()
+	defer putScheduler(s)
+	s.reset(cfg)
 	var start time.Time
 	if s.metrics != nil {
 		start = time.Now()
@@ -229,11 +249,13 @@ func Run(main func(*Thread), cfg Config) *Result {
 			cfg.Introspect.unregister(s.inspSlot, final)
 		}()
 	}
+	s.mu.Lock()
 	s.startThread("main", main)
 	if s.prof != nil {
 		s.prof.Mark(schedprof.PhaseLoopEnter)
 	}
 	s.loop()
+	s.mu.Unlock()
 	if s.prof != nil {
 		s.prof.Mark(schedprof.PhaseLoopExit)
 	}
@@ -255,6 +277,16 @@ func Run(main func(*Thread), cfg Config) *Result {
 func (s *Scheduler) NewLoc(name string) event.MemLoc {
 	loc := event.MemLoc(len(s.locNames))
 	s.locNames = append(s.locNames, name)
+	s.locOwner = append(s.locOwner, -1)
+	return loc
+}
+
+// newIntrLoc reserves thread tidx's interrupt-status location without
+// formatting its debug name; LocName renders it on demand.
+func (s *Scheduler) newIntrLoc(tidx int) event.MemLoc {
+	loc := event.MemLoc(len(s.locNames))
+	s.locNames = append(s.locNames, "")
+	s.locOwner = append(s.locOwner, int32(tidx))
 	return loc
 }
 
@@ -262,6 +294,9 @@ func (s *Scheduler) NewLoc(name string) event.MemLoc {
 func (s *Scheduler) LocName(loc event.MemLoc) string {
 	if int(loc) < 0 || int(loc) >= len(s.locNames) {
 		return loc.String()
+	}
+	if ti := s.locOwner[loc]; ti >= 0 {
+		return fmt.Sprintf("%s(T%d).interrupt", s.threads[ti].name, ti)
 	}
 	return s.locNames[loc]
 }
@@ -279,30 +314,73 @@ func (s *Scheduler) Seed() int64 { return s.cfg.Seed }
 // Step returns the current step count.
 func (s *Scheduler) Step() int { return s.steps }
 
+// startThread creates (or recycles) the thread with the next index and
+// launches its goroutine. Called with mu held (fork grants) or before the
+// controller loop starts (T0).
 func (s *Scheduler) startThread(name string, body func(*Thread)) *Thread {
-	t := &Thread{
-		id:        event.ThreadID(len(s.threads)),
-		name:      name,
-		s:         s,
-		resume:    make(chan struct{}),
-		status:    tsRunning,
-		heldDepth: make(map[event.LockID]int),
+	idx := len(s.threads)
+	var t *Thread
+	if idx < cap(s.threads) {
+		// Pool reuse: the backing array keeps Thread structs from earlier
+		// runs; slots past a grown append can still be nil.
+		s.threads = s.threads[:idx+1]
+		t = s.threads[idx]
 	}
-	t.intrLoc = s.NewLoc(fmt.Sprintf("%s(T%d).interrupt", name, len(s.threads)))
-	s.threads = append(s.threads, t)
+	if t == nil {
+		t = &Thread{}
+		if idx < len(s.threads) {
+			s.threads[idx] = t
+		} else {
+			s.threads = append(s.threads, t)
+		}
+	}
+	t.id = event.ThreadID(idx)
+	t.name = name
+	t.s = s
+	t.pending = Op{}
+	t.status = tsRunning
+	t.held = lockset.Empty()
+	t.savedDepth = 0
+	t.notified = false
+	t.poison = nil
+	t.forkResult = nil
+	t.exitedFlag = false
+	t.panicVal = nil
+	t.panicStack = ""
+	t.lastStmt = event.NoStmt
+	t.parkedNs = 0
+	t.openGrant = false
+	t.interruptedFlag = false
+	t.wokenByIntr = false
+	t.exitMsg = 0
+	if t.grantCond.L == nil {
+		t.grantCond.L = &s.mu
+	}
+	atomic.StoreUint32(&t.grantFlag, 0)
+	t.intrLoc = s.newIntrLoc(idx)
 	if s.prof != nil {
-		s.prof.ThreadName(int(t.id), name)
+		s.prof.ThreadName(idx, name)
 	}
 	s.inFlight++
 	go t.run(body)
 	return t
 }
 
-// loop is the controller: wait for quiescence, ask the policy, grant, repeat.
+// loop is the controller: wait for quiescence, ask the policy, grant,
+// repeat. Runs with mu held; waiting releases it. When the single-runnable
+// trampoline (fastpath.go) has been driving rounds inline, the controller
+// either keeps sleeping (nothing to do) or wakes to adopt a handed-off
+// decision it applies without re-deciding.
 func (s *Scheduler) loop() {
 	s.awaitQuiescence()
-	emptyRounds := 0
 	for {
+		if g := s.handoffGrants; g != nil {
+			// A decision made by the inline trampoline that the parking
+			// thread could not apply itself. Already recorded; apply as-is.
+			s.handoffGrants = nil
+			s.applyGrants(g)
+			continue
+		}
 		s.pollIntrospect()
 		enabled := s.enabledThreads()
 		if len(enabled) == 0 {
@@ -324,70 +402,104 @@ func (s *Scheduler) loop() {
 		if s.metrics != nil {
 			s.metrics.ObserveEnabled(len(enabled))
 		}
-		view := &View{sched: s, Step: s.steps, Enabled: enabled}
-		dec := s.policy.Step(view, s.rng)
+		s.view.Step = s.steps
+		s.view.Enabled = enabled
+		dec := s.policy.Step(&s.view, s.rng)
 		s.recordDecision(enabled, dec.Grants, false)
 		if s.prof != nil {
 			s.prof.Round(len(enabled), len(dec.Grants))
 		}
 		if len(dec.Grants) == 0 {
-			emptyRounds++
+			s.emptyRounds++
 			// A policy may legitimately return no grants for a round while it
 			// adjusts internal state (e.g. RaceFuzzer postponing a thread),
 			// but never indefinitely: force progress after a grace period.
-			if emptyRounds > 2*len(s.threads)+16 {
+			if s.emptyRounds > 2*len(s.threads)+16 {
 				s.stalls++
-				forced := enabled[s.rng.Intn(len(enabled))]
-				s.recordDecision(enabled, []event.ThreadID{forced}, true)
+				s.grantBuf[0] = enabled[s.rng.Intn(len(enabled))]
+				forced := s.grantBuf[:1]
+				s.recordDecision(enabled, forced, true)
 				if s.prof != nil {
 					s.prof.ForcedGrant()
 				}
-				s.grant(forced)
-				emptyRounds = 0
+				s.applyGrants(forced)
+				s.emptyRounds = 0
 			}
 			continue
 		}
-		emptyRounds = 0
-		for _, tid := range dec.Grants {
-			if s.isEnabled(tid) {
-				s.grant(tid)
-			}
-		}
+		s.emptyRounds = 0
+		s.applyGrants(dec.Grants)
 	}
 }
 
-// recordDecision delivers one round's DecisionRecord to the flight observer.
-// The enabled set is copied: the caller's slice is rebuilt each round, but a
-// recorder keeps records beyond the round.
+// applyGrants grants each enabled thread of one decision in order. During
+// the final grant's quiescence wait batchLeft is zero, so the trampoline
+// may take over (and may overwrite decision scratch buffers — safe, because
+// the remaining iterations only test enabledness of already-read IDs).
+func (s *Scheduler) applyGrants(g []event.ThreadID) {
+	for i, tid := range g {
+		if s.isEnabled(tid) {
+			s.batchLeft = len(g) - i - 1
+			s.grant(tid)
+		}
+	}
+	s.batchLeft = 0
+}
+
+// recordDecision counts one scheduling round and delivers its
+// DecisionRecord to the flight observer, if any. The round counter advances
+// unconditionally — round numbering must not depend on which observers are
+// wired. The enabled set is copied: the caller's slice is scheduler scratch,
+// but a recorder keeps records beyond the round.
 func (s *Scheduler) recordDecision(enabled, grants []event.ThreadID, forced bool) {
+	round := s.rounds
+	s.rounds++
 	if s.flight == nil {
 		return
 	}
 	s.flight.OnDecision(DecisionRecord{
-		Round:   s.rounds,
+		Round:   round,
 		Step:    s.steps,
 		Enabled: append([]event.ThreadID(nil), enabled...),
 		Grants:  append([]event.ThreadID(nil), grants...),
 		Draws:   s.rng.Draws(),
 		Forced:  forced,
 	})
-	s.rounds++
 }
 
-// grant lets thread tid perform its pending op: apply the op's effect on the
-// scheduler's synchronization state, emit events, resume the goroutine, and
-// wait until every unblocked goroutine has parked again.
+// grant lets thread tid perform its pending op from the controller: apply
+// the op's effect, wake the goroutine, and wait until every unblocked
+// goroutine has parked again.
 func (s *Scheduler) grant(tid event.ThreadID) {
 	t := s.threads[tid]
-	op := t.pending
-	var grantAt, parkedAt int64
-	if s.prof != nil {
-		// parkedAt must be read now: once the thread is resumed below it
-		// re-parks during awaitQuiescence and overwrites t.parkedNs with a
-		// post-grant stamp.
-		grantAt = s.prof.Clock()
-		parkedAt = t.parkedNs
+	s.applyGrant(t)
+	s.wake(t)
+	s.awaitQuiescence()
+}
+
+// wake hands the step to a granted (or shutdown-unwound) thread: the atomic
+// store is the release the spin fast path synchronizes on, the Signal
+// covers the condvar slow path. Callers hold mu.
+func (s *Scheduler) wake(t *Thread) {
+	atomic.StoreUint32(&t.grantFlag, 1)
+	t.grantCond.Signal()
+}
+
+// awaitQuiescence blocks the controller until no model goroutine is
+// unblocked. Parking threads signal ctrlCond when inFlight hits zero.
+func (s *Scheduler) awaitQuiescence() {
+	for s.inFlight > 0 {
+		s.ctrlCond.Wait()
 	}
+}
+
+// applyGrant applies thread t's pending op to the synchronization state,
+// emits its events, and marks t running. It does not wake t: the controller
+// path follows with wake, the inline fast path simply returns into the
+// thread's own call stack. Callers hold mu.
+func (s *Scheduler) applyGrant(t *Thread) {
+	tid := t.id
+	op := t.pending
 	s.steps++
 	if tid != s.lastGranted {
 		if s.lastGranted != event.NoThread {
@@ -403,21 +515,19 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 
 	case OpRead, OpWrite:
 		s.emit(event.Event{Kind: event.KindMem, Thread: tid, Stmt: op.Stmt,
-			Loc: op.Loc, Access: op.Access, Locks: t.held.Slice()})
+			Loc: op.Loc, Access: op.Access, Locks: t.held.Members()})
 
 	case OpLock:
 		l := &s.locks[op.Lock]
 		if l.holder == tid {
 			l.depth++
-			t.heldDepth[op.Lock]++
 		} else {
 			l.holder = tid
 			l.depth = 1
-			t.heldDepth[op.Lock] = 1
 			t.held = t.held.Add(op.Lock)
 		}
 		s.emit(event.Event{Kind: event.KindLock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock,
-			Locks: t.held.Slice()})
+			Locks: t.held.Members()})
 
 	case OpUnlock:
 		l := &s.locks[op.Lock]
@@ -427,10 +537,8 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 			break
 		}
 		l.depth--
-		t.heldDepth[op.Lock]--
 		if l.depth == 0 {
 			l.holder = event.NoThread
-			delete(t.heldDepth, op.Lock)
 			t.held = t.held.Remove(op.Lock)
 		}
 		s.emit(event.Event{Kind: event.KindUnlock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock})
@@ -453,7 +561,6 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 		t.savedDepth = l.depth
 		l.holder = event.NoThread
 		l.depth = 0
-		delete(t.heldDepth, op.Lock)
 		t.held = t.held.Remove(op.Lock)
 		t.notified = false
 		s.emit(event.Event{Kind: event.KindUnlock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock})
@@ -462,11 +569,10 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 		l := &s.locks[op.Lock]
 		l.holder = tid
 		l.depth = t.savedDepth
-		t.heldDepth[op.Lock] = t.savedDepth
 		t.held = t.held.Add(op.Lock)
 		t.notified = false
 		s.emit(event.Event{Kind: event.KindLock, Thread: tid, Stmt: op.Stmt, Lock: op.Lock,
-			Locks: t.held.Slice()})
+			Locks: t.held.Members()})
 		if t.wokenByIntr {
 			// The wait was ended by an interrupt: after reacquiring the
 			// monitor, the wait throws and the interrupt status is cleared.
@@ -486,7 +592,8 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 		if len(waiters) > 0 {
 			var woken []*Thread
 			if op.Kind == OpNotify {
-				woken = []*Thread{waiters[s.rng.Intn(len(waiters))]}
+				woken = waiters[:1]
+				woken[0] = waiters[s.rng.Intn(len(waiters))]
 			} else {
 				woken = waiters
 			}
@@ -510,7 +617,7 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 		target := s.threads[op.Target]
 		// The interrupt is a write to the target's interrupt status.
 		s.emit(event.Event{Kind: event.KindMem, Thread: tid, Stmt: op.Stmt,
-			Loc: target.intrLoc, Access: event.Write, Locks: t.held.Slice()})
+			Loc: target.intrLoc, Access: event.Write, Locks: t.held.Members()})
 		if target.status != tsDead {
 			target.interruptedFlag = true
 			if target.status == tsWaiting {
@@ -524,8 +631,8 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 		}
 
 	case OpJoin:
-		g, ok := s.exitMsg[op.Target]
-		if !ok {
+		g := s.threads[op.Target].exitMsg
+		if g == 0 {
 			// Joining a live thread is a scheduling bug: join is only enabled
 			// once the target died and registered its exit message.
 			panic(fmt.Sprintf("sched: join of live thread %s granted", op.Target))
@@ -535,27 +642,31 @@ func (s *Scheduler) grant(tid event.ThreadID) {
 
 	t.status = tsRunning
 	s.inFlight++
-	t.resume <- struct{}{}
-	s.awaitQuiescence()
 	if s.prof != nil {
-		// Wait is park->grant; service is grant->quiescence (the op's effect
-		// plus the thread's uninstrumented run to its next yield).
-		s.prof.Grant(int(op.Kind), int(tid), s.steps, grantAt, grantAt-parkedAt, s.prof.Clock()-grantAt)
+		// Open the grant's latency record; the thread's next park closes it
+		// (handlePark). Wait is park->grant; service is grant->next park
+		// (the op's effect plus the thread's uninstrumented run to its next
+		// yield).
+		now := s.prof.Clock()
+		t.openGrant = true
+		t.gKind = int(op.Kind)
+		t.gStep = s.steps
+		t.gStartNs = now
+		t.gWaitNs = now - t.parkedNs
 	}
 }
 
-// awaitQuiescence receives parks until no model goroutine is unblocked.
-func (s *Scheduler) awaitQuiescence() {
-	for s.inFlight > 0 {
-		s.handlePark(<-s.parkCh)
-	}
-}
-
-// handlePark processes one park (or exit) notification from a thread.
+// handlePark processes one park (or exit) notification. Runs on the parking
+// thread's goroutine with mu held.
 func (s *Scheduler) handlePark(t *Thread) {
 	s.inFlight--
 	if s.prof != nil {
-		t.parkedNs = s.prof.Clock()
+		now := s.prof.Clock()
+		t.parkedNs = now
+		if t.openGrant {
+			t.openGrant = false
+			s.prof.Grant(t.gKind, int(t.id), t.gStep, t.gStartNs, t.gWaitNs, now-t.gStartNs)
+		}
 	}
 	if t.exitedFlag {
 		s.threadDied(t)
@@ -573,18 +684,18 @@ func (s *Scheduler) handlePark(t *Thread) {
 // threadDied finalizes a dead thread: force-release its monitors (HotSpot
 // unwinds synchronized blocks on uncaught exceptions; our models pair every
 // acquire with a release, so on clean exit this is a no-op), record any
-// model exception, and register the exit message joiners will receive.
+// model exception, and register the exit message joiners will receive. The
+// held set is released in ascending lock-ID order — the set is sorted — so
+// the unlock event sequence is identical on every replay of the same seed.
 func (s *Scheduler) threadDied(t *Thread) {
 	t.status = tsDead
-	for lid, depth := range t.heldDepth {
-		_ = depth
+	for _, lid := range t.held.Members() {
 		l := &s.locks[lid]
 		if l.holder == t.id {
 			l.holder = event.NoThread
 			l.depth = 0
 			s.emit(event.Event{Kind: event.KindUnlock, Thread: t.id, Stmt: t.lastStmt, Lock: lid})
 		}
-		delete(t.heldDepth, lid)
 	}
 	t.held = lockset.Empty()
 	if t.panicVal != nil {
@@ -597,7 +708,7 @@ func (s *Scheduler) threadDied(t *Thread) {
 		t.panicVal = nil
 	}
 	g := s.nextMsgID()
-	s.exitMsg[t.id] = g
+	t.exitMsg = g
 	s.emit(event.Event{Kind: event.KindSnd, Thread: t.id, Msg: g})
 }
 
@@ -612,13 +723,15 @@ func asModelError(v any) (err error, isModel bool) {
 }
 
 // waitSet returns the threads waiting on lock l's monitor, in thread order.
+// The returned slice is scheduler scratch, valid until the next call.
 func (s *Scheduler) waitSet(l event.LockID) []*Thread {
-	var out []*Thread
+	out := s.waitBuf[:0]
 	for _, t := range s.threads {
 		if t.status == tsWaiting && t.pending.Kind == OpWaitResume && t.pending.Lock == l {
 			out = append(out, t)
 		}
 	}
+	s.waitBuf = out
 	return out
 }
 
@@ -646,26 +759,41 @@ func (s *Scheduler) isEnabled(tid event.ThreadID) bool {
 	}
 }
 
-// enabledThreads returns Enabled(s) in ascending thread order.
+// enabledThreads returns Enabled(s) in ascending thread order. The returned
+// slice is scheduler scratch, valid until the next scheduling round.
 func (s *Scheduler) enabledThreads() []event.ThreadID {
-	var out []event.ThreadID
+	out := s.enabledBuf[:0]
 	for _, t := range s.threads {
 		if s.isEnabled(t.id) {
 			out = append(out, t.id)
 		}
 	}
+	s.enabledBuf = out
 	return out
 }
 
-// aliveThreads returns Alive(s).
+// aliveThreads returns Alive(s). The returned slice is scheduler scratch,
+// valid until the next call.
 func (s *Scheduler) aliveThreads() []*Thread {
-	var out []*Thread
+	out := s.aliveBuf[:0]
 	for _, t := range s.threads {
 		if t.status != tsDead {
 			out = append(out, t)
 		}
 	}
+	s.aliveBuf = out
 	return out
+}
+
+// aliveCount returns |Alive(s)| without touching scratch storage.
+func (s *Scheduler) aliveCount() int {
+	n := 0
+	for _, t := range s.threads {
+		if t.status != tsDead {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *Scheduler) recordDeadlock(alive []*Thread) {
@@ -683,16 +811,13 @@ func (s *Scheduler) recordDeadlock(alive []*Thread) {
 }
 
 // shutdown aborts every live model goroutine so Run never leaks. Threads
-// blocked in yield observe the abort flag when resumed and unwind via the
-// abort sentinel.
+// blocked in yield observe the abort flag when woken and unwind via the
+// abort sentinel. Runs with mu held.
 func (s *Scheduler) shutdown() {
 	s.aborted.Store(true)
 	s.abortedRun = true
 	for {
-		if s.inFlight > 0 {
-			s.handlePark(<-s.parkCh)
-			continue
-		}
+		s.awaitQuiescence()
 		var next *Thread
 		for _, t := range s.threads {
 			if t.status != tsDead && t.status != tsRunning {
@@ -705,7 +830,7 @@ func (s *Scheduler) shutdown() {
 		}
 		next.status = tsRunning
 		s.inFlight++
-		next.resume <- struct{}{}
+		s.wake(next)
 	}
 }
 
@@ -733,6 +858,7 @@ func (s *Scheduler) result() *Result {
 		Deadlock:     s.deadlock,
 		Aborted:      s.abortedRun,
 		PolicyStalls: s.stalls,
+		Rounds:       s.rounds,
 		Stats:        s.metrics.Stats(),
 	}
 }

@@ -2,7 +2,10 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"racefuzzer/internal/event"
 	"racefuzzer/internal/lockset"
@@ -58,6 +61,13 @@ type modelPanic struct{ err error }
 
 func (m modelPanic) String() string { return m.err.Error() }
 
+// spinEnabled gates the grant fast path's busy-wait: spinning for a flag
+// only helps when the granting goroutine can make progress on another CPU.
+var spinEnabled = runtime.NumCPU() > 1
+
+// grantSpins bounds the busy-wait before falling back to the condvar.
+const grantSpins = 128
+
 // Thread is a model thread: the unit the scheduler grants steps to and the
 // handle model programs use to perform instrumented operations. All methods
 // must be called from the thread's own body function.
@@ -66,45 +76,57 @@ type Thread struct {
 	name string
 	s    *Scheduler
 
-	// resume is the grant channel: the controller sends one token to let the
-	// thread perform its pending op and run to its next yield.
-	resume chan struct{}
+	// grantFlag is the handoff token: the granter sets it (atomically, under
+	// the scheduler mutex) and the parked thread consumes it, either by
+	// spinning on the atomic or by waiting on grantCond. grantCond shares the
+	// scheduler's mutex; it is initialized once per Thread lifetime.
+	grantFlag uint32
+	grantCond sync.Cond
 
 	// pending is the op the thread will perform next. Written by the thread
-	// before parking, read by the controller after receiving the park — the
-	// park channel orders the accesses.
+	// before parking, read under the scheduler mutex afterwards.
 	pending Op
 
-	// Controller-owned scheduling state.
+	// Controller-owned scheduling state (everything below is accessed under
+	// the scheduler mutex, or by the thread itself while it owns the step).
 	status     threadStatus
 	held       lockset.Set
-	heldDepth  map[event.LockID]int
 	savedDepth int  // recursion depth saved across a monitor wait
 	notified   bool // woken from the wait set, racing for the lock
 
-	// poison, set by the controller before resuming, makes yield panic with
-	// the given error: used for model-level illegal states such as unlocking
-	// a lock the thread does not hold.
+	// poison, set during the grant, makes yield panic with the given error:
+	// used for model-level illegal states such as unlocking a lock the
+	// thread does not hold.
 	poison error
 
-	// forkResult is set by the controller during an OpFork grant so Fork can
-	// return the child handle.
+	// forkResult is set during an OpFork grant so Fork can return the child
+	// handle.
 	forkResult *Thread
 
 	// Exit bookkeeping, written by the thread's goroutine before its final
-	// park and read by the controller afterwards.
+	// park and read under the mutex afterwards.
 	exitedFlag bool
 	panicVal   any
 	panicStack string
+
+	// exitMsg is the SND message registered when the thread died; joiners
+	// receive it. Zero means the thread has not exited (IDs start at 1).
+	exitMsg event.MsgID
 
 	// lastStmt is the statement of the thread's most recently granted op,
 	// used to attribute exceptions to program points.
 	lastStmt event.Stmt
 
-	// parkedNs is the profiler clock at the thread's most recent park,
-	// stamped by handlePark only when a schedprof trial is attached; grant
-	// reads it to compute park->grant wait latency.
-	parkedNs int64
+	// Profiling state (only touched when a schedprof trial is attached).
+	// parkedNs is the profiler clock at the thread's most recent park; an
+	// open grant carries the granted op's latency record from applyGrant to
+	// the closing handlePark.
+	parkedNs  int64
+	openGrant bool
+	gKind     int
+	gStep     int
+	gStartNs  int64
+	gWaitNs   int64
 
 	// Interrupt machinery (Java Thread.interrupt semantics). intrLoc is the
 	// thread's interrupt-status memory location (accesses to it are
@@ -138,8 +160,7 @@ func (t *Thread) yield(op Op) {
 		panic(abortSentinel{})
 	}
 	t.pending = op
-	t.s.parkCh <- t
-	<-t.resume
+	t.park()
 	if t.s.aborted.Load() {
 		panic(abortSentinel{})
 	}
@@ -148,6 +169,62 @@ func (t *Thread) yield(op Op) {
 		t.poison = nil
 		panic(modelPanic{err})
 	}
+}
+
+// park hands the step back to the scheduler and blocks until granted again.
+// When this park makes the system quiescent the thread first tries to drive
+// the next scheduling round itself (the single-runnable fast path): if the
+// policy grants this same thread, park returns without any goroutine switch
+// or controller involvement.
+func (t *Thread) park() {
+	s := t.s
+	s.mu.Lock()
+	s.handlePark(t)
+	if s.inFlight == 0 {
+		if s.tryInline(t) {
+			s.mu.Unlock()
+			return
+		}
+		s.ctrlCond.Signal()
+	}
+	s.mu.Unlock()
+	t.awaitGrant()
+}
+
+// exitPark is the dying goroutine's final park: no grant will follow, so it
+// only delivers the exit to the scheduler. After the unlock the goroutine
+// touches nothing — required for pool reuse of the Thread struct.
+func (t *Thread) exitPark() {
+	s := t.s
+	s.mu.Lock()
+	s.handlePark(t)
+	if s.inFlight == 0 {
+		s.ctrlCond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// awaitGrant blocks until the thread's grant flag is set, then consumes it.
+// The fast path spins briefly on the atomic (the granter stores it before
+// signaling, so an in-progress handoff is usually visible within a few
+// iterations); the slow path takes the mutex and sleeps on the condvar.
+func (t *Thread) awaitGrant() {
+	if spinEnabled {
+		for i := 0; i < grantSpins; i++ {
+			if atomic.LoadUint32(&t.grantFlag) != 0 {
+				atomic.StoreUint32(&t.grantFlag, 0)
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+	s := t.s
+	s.mu.Lock()
+	for atomic.LoadUint32(&t.grantFlag) == 0 {
+		t.grantCond.Wait()
+	}
+	atomic.StoreUint32(&t.grantFlag, 0)
+	s.mu.Unlock()
 }
 
 // MemRead performs an instrumented read of loc at statement stmt. The caller
@@ -265,7 +342,7 @@ func (t *Thread) run(body func(*Thread)) {
 			}
 		}
 		t.exitedFlag = true
-		t.s.parkCh <- t
+		t.exitPark()
 	}()
 	t.yield(Op{Kind: OpBegin})
 	if body != nil {
