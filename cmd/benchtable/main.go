@@ -53,8 +53,13 @@ func main() {
 		jsonLog   = flag.String("json", "", "write a structured JSONL run log to this file (one record per execution), analyzable with cmd/campaignreport")
 		jsonFlush = flag.Int("jsonflush", 0, "with -json: flush the log every N records so tail -f sees them live (0 = flush only at close)")
 		timing    = flag.Bool("timing", false, "record per-run wall-clock durations (durationNs) in emitted records; off by default so run logs stay byte-identical across repeat runs")
+		version   = flag.Bool("version", false, "print the tool's build provenance (version, commit, toolchain) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.CollectProvenance("benchtable", "", nil).String())
+		return
+	}
 
 	// Provenance: build identity plus the explicitly-set flags, stamped into
 	// the run-log header and the corpus manifest like cmd/racefuzzer.

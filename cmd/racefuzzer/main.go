@@ -9,6 +9,8 @@
 //	racefuzzer -bench figure1 -corpusdir corpus   # dedup against prior runs
 //	racefuzzer -corpusdir corpus -budget 600      # adaptive campaign, all benches
 //	racefuzzer -corpusdir corpus -regress         # replay every stored witness
+//	racefuzzer -corpusdir corpus -budget 600 -coordinate :7070   # fleet campaign
+//	racefuzzer -worker http://host:7070           # join a fleet as a worker
 //
 // The tool prints phase-1's potential races, then each pair's verdict:
 // whether RaceFuzzer confirmed it real, the race-creation probability, and
@@ -33,6 +35,15 @@
 // timeline (Chrome trace-event JSON, open in https://ui.perfetto.dev) of
 // each target's first confirming trial.
 //
+// Fleet flags (see README "Fleet campaigns"): -coordinate serves the fleet
+// control plane on the given address and runs the -budget campaign on
+// remote worker processes, which join with -worker <coordinator URL>. All
+// corpus writes stay on the coordinator; workers stream result batches
+// back over leases, so the fleet's corpus and findings match the
+// single-process campaign at the same budget. -version prints this build's
+// provenance — coordinator and workers should run identical builds, since
+// that is what makes leased batches re-executable bit-identically.
+//
 // Analytics flags (see README "Campaign reports"): -report renders the
 // offline campaign report (markdown) from a directory holding a run log
 // and/or corpus, like cmd/campaignreport; -timing opts into per-run
@@ -44,6 +55,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,6 +67,7 @@ import (
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/core"
 	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/fleet"
 	"racefuzzer/internal/flightrec"
 	"racefuzzer/internal/harness"
 	"racefuzzer/internal/obs"
@@ -95,8 +108,16 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve the live campaign observatory (dashboard, /metrics, /events, /debug/sched) on this address, e.g. :8080")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
+
+		coordAddr = flag.String("coordinate", "", "with -budget: serve a fleet coordinator on this address (e.g. :7070) and run the campaign on remote -worker processes instead of in-process")
+		workerURL = flag.String("worker", "", "run as a fleet worker: pull leased trial batches from the coordinator at this base URL (e.g. http://host:7070) until its campaign completes")
+		version   = flag.Bool("version", false, "print the tool's build provenance (version, commit, toolchain) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.CollectProvenance("racefuzzer", "", nil).String())
+		return
+	}
 	// A replay seed of 0 is legitimate (derived seeds can be 0 under negative
 	// base seeds), so "was -replay given" is tracked explicitly rather than
 	// by comparing against the zero default.
@@ -124,6 +145,29 @@ func main() {
 			fmt.Printf("%-12s %s\n", b.Name, b.Description)
 		}
 		return
+	}
+	// Worker mode needs none of the local campaign flags: the coordinator
+	// sends the execution config with each registration, and all corpus
+	// writes happen coordinator-side.
+	if *workerURL != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := fleet.RunWorker(ctx, fleet.WorkerOptions{
+			Coordinator: *workerURL,
+			Provenance:  obs.CollectProvenance("racefuzzer", "worker", nil),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "racefuzzer: "+format+"\n", args...)
+			},
+		})
+		if err != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *coordAddr != "" && *budget <= 0 {
+		fmt.Fprintln(os.Stderr, "racefuzzer: -coordinate requires -budget (the fleet runs the adaptive campaign)")
+		os.Exit(2)
 	}
 	if *reportDir != "" {
 		c, err := analytics.LoadDir(*reportDir)
@@ -306,6 +350,29 @@ func main() {
 	if len(sinks) > 0 {
 		opts.Sink = sinks
 	}
+	// Fleet coordinator: created before the observatory starts so its
+	// /fleet/status endpoint rides the observatory mux, and its gauges land
+	// in the same registry /metrics renders.
+	var coord *fleet.Coordinator
+	fleetStore := store
+	if *coordAddr != "" {
+		if fleetStore == nil {
+			fleetStore = corpus.NewStore()
+		}
+		coord = fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Addr:       *coordAddr,
+			Store:      fleetStore,
+			Workers:    *workers,
+			Metrics:    campaign,
+			Sink:       opts.Sink,
+			Gauges:     obsv.Registry(),
+			Provenance: prov,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "racefuzzer: "+format+"\n", args...)
+			},
+		})
+		obsv.Handle("/fleet/status", coord.StatusHandler())
+	}
 	if obsv != nil {
 		if err := obsv.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "racefuzzer: -http: %v\n", err)
@@ -357,11 +424,11 @@ func main() {
 	}
 
 	if *budget > 0 {
-		var names []string
+		names := bench.Names()
 		if *name != "" {
 			names = []string{*name}
 		}
-		rows := harness.RunAdaptiveCampaign(names, harness.CampaignOptions{
+		copt := harness.CampaignOptions{
 			Seed:       *seed,
 			Budget:     *budget,
 			Rounds:     *rounds,
@@ -375,7 +442,40 @@ func main() {
 			Introspect: obsv.Introspector(),
 			Prof:       obsv.Prof(),
 			Timing:     *timing,
-		})
+		}
+		var rows []harness.CampaignRow
+		if coord != nil {
+			// Fleet mode: the same campaign driver, but every unit executes
+			// on a worker and reaches the corpus through the coordinator's
+			// merge. Witness capture happens worker-side, so the local
+			// TraceDir is irrelevant here.
+			if err := coord.Start(); err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: -coordinate: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "racefuzzer: fleet coordinator listening on http://%s (join with: racefuzzer -worker http://<this-host>:%s)\n",
+				coord.Addr(), portOf(coord.Addr()))
+			coord.SetTargets(names)
+			copt.Corpus = fleetStore
+			copt.Executor = coord
+			var err error
+			rows, err = harness.RunCampaign(names, copt)
+			coord.Finish()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "racefuzzer: fleet campaign: %v\n", err)
+				os.Exit(1)
+			}
+			// Give live workers a beat to collect their "done" and exit
+			// before the control plane goes away.
+			for deadline := time.Now().Add(5 * time.Second); !coord.Drained() && time.Now().Before(deadline); {
+				time.Sleep(100 * time.Millisecond)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			coord.Shutdown(ctx)
+			cancel()
+		} else {
+			rows = harness.RunAdaptiveCampaign(names, copt)
+		}
 		fmt.Print(harness.RenderCampaign(rows))
 		finishObservers()
 		return
@@ -484,6 +584,15 @@ func main() {
 	fmt.Printf("\nsummary: %d potential, %d real, %d with exceptions (paper row: %d potential, %d real)\n",
 		len(pairs), realCount, excCount, b.Paper.HybridRaces, b.Paper.RealRaces)
 	finishObservers()
+}
+
+// portOf extracts the port of a host:port listen address (for the join hint
+// printed at coordinator startup).
+func portOf(addr string) string {
+	if _, port, err := net.SplitHostPort(addr); err == nil {
+		return port
+	}
+	return addr
 }
 
 // printWitness reports an auto-captured witness recording (or a failed

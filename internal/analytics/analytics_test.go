@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -266,5 +267,42 @@ func TestTTFCAndAuditFlags(t *testing.T) {
 	}
 	if r.TTFC.Median() != 2 {
 		t.Fatalf("median = %v", r.TTFC.Median())
+	}
+}
+
+// TestLoadLogToleratesCRLF: a run log with Windows line endings (git
+// autocrlf, a log copied off a Windows machine) must parse exactly like its
+// LF twin — header recognized, every record loaded, nothing flagged torn.
+func TestLoadLogToleratesCRLF(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"provenance":{"tool":"racefuzzer","go":"go1.22"}}
+{"seq":0,"phase":1,"pairIndex":-1,"trial":0,"seed":1,"raceCreated":false,"stepsToRace":-1,"steps":5}
+{"seq":1,"phase":2,"kind":"race","pairIndex":0,"trial":0,"seed":2,"raceCreated":true,"stepsToRace":3,"steps":9,"finding":"new","newCells":1}
+`
+	lf := filepath.Join(dir, "lf.jsonl")
+	crlf := filepath.Join(dir, "crlf.jsonl")
+	if err := os.WriteFile(lf, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(crlf, []byte(strings.ReplaceAll(content, "\n", "\r\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wantRecs, wantProv, _, err := LoadLog(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, prov, trunc, err := LoadLog(crlf)
+	if err != nil {
+		t.Fatalf("CRLF log rejected: %v", err)
+	}
+	if trunc {
+		t.Fatal("CRLF log flagged truncated")
+	}
+	if prov == nil || wantProv == nil || prov.Tool != wantProv.Tool {
+		t.Fatalf("provenance header lost under CRLF: %+v vs %+v", prov, wantProv)
+	}
+	if !reflect.DeepEqual(recs, wantRecs) {
+		t.Fatalf("CRLF records diverge:\n got %+v\nwant %+v", recs, wantRecs)
 	}
 }

@@ -352,3 +352,46 @@ func TestManifestProvenanceRoundtrip(t *testing.T) {
 		t.Fatal("provenance-less manifest produced provenance")
 	}
 }
+
+// TestLoadToleratesCRLF: a corpus whose JSONL files picked up Windows line
+// endings in transit (git autocrlf, scp from a Windows worker) must load
+// exactly like the LF original — the same tolerance the loader already
+// extends to blank lines and torn final lines.
+func TestLoadToleratesCRLF(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Report(Finding{Sig: sig("race", "a", "b", "race"), Bench: "figure1", FirstSeenSeed: 7})
+	s.Report(Finding{Sig: sig("deadlock", "c", "d", "deadlock"), Bench: "dl", FirstSeenSeed: 9})
+	s.Observe(sig("race", "a", "b", "race"), "candidate-first")
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{findingsFile, coverageFile} {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crlf := strings.ReplaceAll(string(data), "\n", "\r\n")
+		if err := os.WriteFile(path, []byte(crlf), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("CRLF corpus rejected: %v", err)
+	}
+	if r.Truncated() {
+		t.Fatal("CRLF corpus flagged truncated")
+	}
+	if !reflect.DeepEqual(r.Findings(), s.Findings()) {
+		t.Fatalf("CRLF findings diverge:\n got %+v\nwant %+v", r.Findings(), s.Findings())
+	}
+	if !reflect.DeepEqual(r.Coverage(), s.Coverage()) {
+		t.Fatal("CRLF coverage diverges from the LF original")
+	}
+}

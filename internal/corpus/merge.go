@@ -1,0 +1,135 @@
+package corpus
+
+// Batch ingestion and store merging: the fleet coordinator's side of the
+// merge protocol. Workers execute leased trial batches against fresh
+// in-memory stores and report their findings and coverage cells back as
+// pre-aggregated batches; the coordinator folds those batches into the one
+// authoritative campaign store. Folding a batch entry whose Hits counts h
+// sightings is equivalent to h sequential Report calls (and likewise for
+// coverage-cell hits), so a fleet campaign's corpus — signatures, hit
+// counts, session new/known tallies — matches the single-process campaign
+// that ran the same trials in the same order.
+
+// MergeStats tallies what one batch (or store) merge contributed.
+type MergeStats struct {
+	// NewSignatures counts signatures first seen in this merge;
+	// KnownSightings counts sightings deduplicated against entries that
+	// already existed (including extra sightings of a signature the same
+	// merge introduced).
+	NewSignatures  int64
+	KnownSightings int64
+	// NewCells and KnownCellHits are the coverage-map equivalents.
+	NewCells      int64
+	KnownCellHits int64
+}
+
+// Ingest folds one pre-aggregated finding into the store and reports whether
+// its signature is new. f.Hits counts the sightings the entry aggregates
+// (clamped to at least one); for a known signature the stored entry's Hits
+// grow by that many, LastSeenSeed advances and Exceptions are unioned — the
+// exact state h sequential Report calls would have left. The session
+// new/known counters advance the same way, so dedup-rate metrics are
+// batch-order independent.
+func (s *Store) Ingest(f Finding) (isNew bool) {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingestLocked(f)
+}
+
+func (s *Store) ingestLocked(f Finding) (isNew bool) {
+	hits := f.Hits
+	if hits < 1 {
+		hits = 1
+	}
+	k := f.Sig.Canon()
+	if old, ok := s.byCanon[k]; ok {
+		old.Hits += hits
+		old.LastSeenSeed = f.LastSeenSeed
+		old.Exceptions = mergeSorted(old.Exceptions, f.Exceptions)
+		s.knownSigs += hits
+		return false
+	}
+	nf := f
+	nf.Hits = hits
+	nf.Exceptions = mergeSorted(nil, f.Exceptions)
+	s.byCanon[k] = &nf
+	s.order = append(s.order, k)
+	s.newSigs++
+	s.knownSigs += hits - 1
+	return true
+}
+
+// IngestCell folds one pre-aggregated coverage cell into the interleaving-
+// coverage map and reports whether the cell is new. c.Hits (clamped to at
+// least one) is the number of Observe calls the entry stands for.
+func (s *Store) IngestCell(c CoverageCell) (isNew bool) {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingestCellLocked(c)
+}
+
+func (s *Store) ingestCellLocked(c CoverageCell) (isNew bool) {
+	hits := c.Hits
+	if hits < 1 {
+		hits = 1
+	}
+	k := c.key()
+	if old, ok := s.cov.byKey[k]; ok {
+		old.Hits += hits
+		return false
+	}
+	nc := c
+	nc.Hits = hits
+	s.cov.byKey[k] = &nc
+	s.cov.order = append(s.cov.order, k)
+	return true
+}
+
+// Merge folds every finding and coverage cell of other into s, in other's
+// first-report order, and reports what the merge contributed. Witness-trace
+// paths are resolved against other's directory first, so merged entries keep
+// pointing at real files wherever the source corpus lived. Merge snapshots
+// other before touching s — the two stores are never locked together — so
+// concurrent merges of disjoint batch stores into one target are safe (and
+// exercised under -race).
+func (s *Store) Merge(other *Store) MergeStats {
+	var st MergeStats
+	if s == nil || other == nil {
+		return st
+	}
+	findings := other.Findings()
+	cells := other.Coverage()
+	for i := range findings {
+		f := findings[i]
+		f.WitnessTrace = other.WitnessPath(f)
+		hits := f.Hits
+		if hits < 1 {
+			hits = 1
+		}
+		if s.Ingest(f) {
+			st.NewSignatures++
+			st.KnownSightings += hits - 1
+		} else {
+			st.KnownSightings += hits
+		}
+	}
+	for _, c := range cells {
+		hits := c.Hits
+		if hits < 1 {
+			hits = 1
+		}
+		if s.IngestCell(c) {
+			st.NewCells++
+			st.KnownCellHits += hits - 1
+		} else {
+			st.KnownCellHits += hits
+		}
+	}
+	return st
+}

@@ -1,0 +1,517 @@
+// Package fleet turns racefuzzer from a tool into a service: a long-lived
+// coordinator that schedules adaptive campaigns across many target programs
+// and many worker processes, and the worker pull loop that executes leased
+// trial batches.
+//
+// The division of labor follows the determinism contract the rest of the
+// repository already enforces. A work unit is a (target, seed, trial-budget)
+// tuple, so execution is location-independent: any worker running the same
+// build produces bit-identical trials. The coordinator therefore owns only
+// the things that must be globally ordered — budget allocation (the
+// corpus.Allocate bandit), lease bookkeeping, and all corpus writes, which
+// happen exclusively on the coordinator through the corpus merge protocol
+// (Store.Ingest/IngestCell), folding worker batches in unit order. The
+// result: a fleet campaign's corpus and findings match the single-process
+// campaign at the same budget, and a lost worker costs only a requeued
+// lease, never a double-counted finding.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/harness"
+	"racefuzzer/internal/obs"
+)
+
+// DefaultLeaseTTL is the lease expiry workers must heartbeat within.
+const DefaultLeaseTTL = 10 * time.Second
+
+// defaultRetryMillis is the wait the coordinator suggests when no unit is
+// pending.
+const defaultRetryMillis = 200
+
+// CoordinatorConfig parameterizes NewCoordinator.
+type CoordinatorConfig struct {
+	// Addr is the control-plane listen address (e.g. ":7070").
+	Addr string
+	// Store is the authoritative campaign corpus; every merge lands here.
+	// It must be the same store the campaign driver (harness.RunCampaign)
+	// was given.
+	Store *corpus.Store
+	// Workers is the trial-executor width each fleet worker runs batches
+	// with (core.Options.Workers).
+	Workers int
+	// Metrics and Sink, when non-nil, receive the run records workers
+	// stream back, re-emitted in deterministic unit order.
+	Metrics *obs.CampaignMetrics
+	Sink    obs.Sink
+	// Gauges, when non-nil, receives the fleet-wide gauges (workers live,
+	// leases in flight, requeues, per-target discovery) the observatory
+	// renders on /metrics.
+	Gauges *obs.Registry
+	// LeaseTTL overrides DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Clock overrides the system clock (tests).
+	Clock Clock
+	// Provenance is the coordinator's build identity, handed to workers for
+	// build-parity checks.
+	Provenance obs.Provenance
+	// Logf, when non-nil, receives coordinator lifecycle logging.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator is the fleet control plane plus the campaign-side
+// harness.RoundExecutor: harness.RunCampaign drives rounds, the coordinator
+// leases each round's units to the pool and merges results back in order.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	clock Clock
+	table *leaseTable
+	gen   string
+
+	mu       sync.Mutex
+	workers  map[string]*workerInfo
+	nextID   int
+	done     bool
+	notified map[string]bool // workers that have been told the campaign is done
+	targets  []string        // campaign name list, for per-target gauges
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// workerInfo is the registry's view of one worker.
+type workerInfo struct {
+	name     string
+	lastSeen time.Time
+	leased   int64
+	results  int64
+}
+
+// NewCoordinator assembles a coordinator (not yet listening).
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = systemClock{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Coordinator{
+		cfg:      cfg,
+		clock:    clock,
+		table:    newLeaseTable(clock, cfg.LeaseTTL),
+		gen:      fmt.Sprintf("g-%d-%d", os.Getpid(), time.Now().UnixNano()),
+		workers:  make(map[string]*workerInfo),
+		notified: make(map[string]bool),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+}
+
+// Generation identifies this coordinator process; workers that present a
+// different generation are told to re-register.
+func (c *Coordinator) Generation() string { return c.gen }
+
+// logf logs through the configured logger.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Mux returns the control-plane handler, for mounting on an existing server
+// (the observatory mounts StatusHandler only; tests mount the whole mux).
+func (c *Coordinator) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/register", c.handleRegister)
+	mux.HandleFunc("/fleet/lease", c.handleLease)
+	mux.HandleFunc("/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/fleet/result", c.handleResult)
+	mux.Handle("/fleet/status", c.StatusHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Start begins serving the control plane and the background lease sweeper.
+func (c *Coordinator) Start() error {
+	ln, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	c.ln = ln
+	c.srv = &http.Server{Handler: c.Mux()}
+	go c.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	go c.sweepLoop()
+	return nil
+}
+
+// Addr returns the bound control-plane address ("" before Start).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// sweepLoop expires overdue leases even when no worker traffic arrives, so
+// a round barrier eventually requeues a silently-dead fleet's units.
+func (c *Coordinator) sweepLoop() {
+	tick := time.NewTicker(c.cfg.LeaseTTL / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-tick.C:
+			c.table.sweep()
+			c.publishGauges()
+		}
+	}
+}
+
+// Shutdown stops the control plane and cancels any in-flight round barrier.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.cancel()
+	if c.srv == nil {
+		return nil
+	}
+	return c.srv.Shutdown(ctx)
+}
+
+// Finish marks the campaign complete: from now on every lease request is
+// answered Done, sending workers to a clean exit.
+func (c *Coordinator) Finish() {
+	c.mu.Lock()
+	c.done = true
+	c.mu.Unlock()
+	c.publishGauges()
+}
+
+// Drained reports whether every live worker has been told the campaign is
+// done (the CLI lingers on this before shutting the control plane down).
+func (c *Coordinator) Drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
+		return false
+	}
+	cutoff := c.clock.Now().Add(-3 * c.cfg.LeaseTTL)
+	for id, w := range c.workers {
+		if w.lastSeen.After(cutoff) && !c.notified[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetTargets records the campaign's name list for per-target discovery
+// gauges and /fleet/status.
+func (c *Coordinator) SetTargets(names []string) {
+	c.mu.Lock()
+	c.targets = append([]string(nil), names...)
+	c.mu.Unlock()
+}
+
+// ExecuteRound implements harness.RoundExecutor: enqueue the round's units,
+// wait for the pool to complete them all, then fold each unit's batch into
+// the corpus in unit order inside the driver's begin/done accounting window.
+func (c *Coordinator) ExecuteRound(units []harness.RoundUnit, begin func(i int), done func(i int, out harness.UnitOutcome)) error {
+	wus := make([]WorkUnit, len(units))
+	ids := make([]string, len(units))
+	for i, u := range units {
+		wus[i] = WorkUnit{
+			ID:          fmt.Sprintf("r%d-t%d", u.Round, u.TargetIndex),
+			Round:       u.Round,
+			TargetIndex: u.TargetIndex,
+			Target:      u.Target,
+			Trials:      u.Trials,
+			Seed:        u.Seed,
+		}
+		ids[i] = wus[i].ID
+	}
+	c.table.add(wus)
+	c.publishGauges()
+	if err := c.table.awaitDone(c.ctx, ids); err != nil {
+		return fmt.Errorf("fleet: round barrier: %w", err)
+	}
+	for i := range units {
+		res := c.table.takeResult(ids[i])
+		if res == nil {
+			return fmt.Errorf("fleet: unit %s completed without a result", ids[i])
+		}
+		begin(i)
+		c.mergeResult(res)
+		done(i, harness.UnitOutcome{Trials: res.Trials, Potential: res.Potential})
+	}
+	c.publishGauges()
+	return nil
+}
+
+// mergeResult folds one batch into the authoritative corpus: findings and
+// coverage cells through the merge protocol, witness payloads archived for
+// signatures that are new fleet-wide, run records re-emitted to the
+// coordinator's metrics/sink. This is the only place corpus writes happen
+// in a fleet campaign.
+func (c *Coordinator) mergeResult(res *UnitResult) {
+	store := c.cfg.Store
+	witnessByCanon := make(map[string]*WitnessPayload, len(res.Witnesses))
+	for i := range res.Witnesses {
+		witnessByCanon[res.Witnesses[i].Sig.Canon()] = &res.Witnesses[i]
+	}
+	for _, f := range res.Findings {
+		f.WitnessTrace = "" // worker-local path; re-archived below when new
+		isNew := store.Ingest(f)
+		if !isNew {
+			continue
+		}
+		wp := witnessByCanon[f.Sig.Canon()]
+		if wp == nil || store.WitnessDir() == "" {
+			continue
+		}
+		path := filepath.Join(store.WitnessDir(), filepath.Base(wp.Name))
+		if err := os.MkdirAll(store.WitnessDir(), 0o755); err != nil {
+			c.logf("fleet: witness archive: %v", err)
+			continue
+		}
+		if err := os.WriteFile(path, wp.Data, 0o644); err != nil {
+			c.logf("fleet: witness archive: %v", err)
+			continue
+		}
+		store.AttachWitness(f.Sig, path)
+	}
+	for _, cell := range res.Cells {
+		store.IngestCell(cell)
+	}
+	for _, rec := range res.Records {
+		c.cfg.Metrics.Emit(rec)
+		obs.Emit(c.cfg.Sink, rec)
+	}
+}
+
+// campaignInfo is the standing config handed to workers at registration.
+func (c *Coordinator) campaignInfo() CampaignInfo {
+	return CampaignInfo{
+		Workers:   c.cfg.Workers,
+		Witnesses: c.cfg.Store.WitnessDir() != "",
+		Records:   c.cfg.Metrics != nil || c.cfg.Sink != nil,
+	}
+}
+
+// touchWorker validates a (workerID, generation) pair and stamps liveness.
+// It returns false after writing the re-register error when the pair is
+// stale — the one error workers must react to.
+func (c *Coordinator) touchWorker(w http.ResponseWriter, workerID, generation string) bool {
+	c.mu.Lock()
+	info, ok := c.workers[workerID]
+	if ok && generation == c.gen {
+		info.lastSeen = c.clock.Now()
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Unlock()
+	writeJSONStatus(w, http.StatusConflict, errorBody{
+		Error: "unknown worker or stale generation (coordinator restarted?)",
+		Code:  codeReregister,
+	})
+	return false
+}
+
+// handleRegister admits a worker into the pool.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	c.nextID++
+	id := fmt.Sprintf("w%d", c.nextID)
+	c.workers[id] = &workerInfo{name: req.Name, lastSeen: c.clock.Now()}
+	c.mu.Unlock()
+	c.logf("fleet: worker %s registered (%s, %s)", id, req.Name, req.Provenance.String())
+	if req.Provenance.Commit != c.cfg.Provenance.Commit || req.Provenance.Go != c.cfg.Provenance.Go {
+		c.logf("fleet: warning: worker %s build differs from coordinator (worker %s/%s, coordinator %s/%s) — trial determinism is only guaranteed across identical builds",
+			id, req.Provenance.Commit, req.Provenance.Go, c.cfg.Provenance.Commit, c.cfg.Provenance.Go)
+	}
+	c.publishGauges()
+	writeJSON(w, RegisterResponse{
+		WorkerID:       id,
+		Generation:     c.gen,
+		LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+		Campaign:       c.campaignInfo(),
+		Provenance:     c.cfg.Provenance,
+	})
+}
+
+// handleLease grants the next pending unit, asks the worker to wait, or —
+// once the campaign is finished — releases it.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !c.touchWorker(w, req.WorkerID, req.Generation) {
+		return
+	}
+	c.mu.Lock()
+	finished := c.done
+	if finished {
+		c.notified[req.WorkerID] = true
+	}
+	c.mu.Unlock()
+	if finished {
+		writeJSON(w, LeaseResponse{Done: true})
+		return
+	}
+	unit, epoch, ok := c.table.lease(req.WorkerID)
+	if !ok {
+		writeJSON(w, LeaseResponse{Wait: true, RetryMillis: defaultRetryMillis})
+		return
+	}
+	c.mu.Lock()
+	if info := c.workers[req.WorkerID]; info != nil {
+		info.leased++
+	}
+	c.mu.Unlock()
+	c.publishGauges()
+	writeJSON(w, LeaseResponse{Unit: &unit, Epoch: epoch})
+}
+
+// handleHeartbeat extends a held lease.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !c.touchWorker(w, req.WorkerID, req.Generation) {
+		return
+	}
+	ok := c.table.heartbeat(req.WorkerID, req.UnitID, req.Epoch)
+	writeJSON(w, HeartbeatResponse{OK: ok, Lost: !ok})
+}
+
+// handleResult ingests a completed batch (idempotently: duplicates and
+// stale-epoch submissions are dropped, not merged twice).
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !c.touchWorker(w, req.WorkerID, req.Generation) {
+		return
+	}
+	res := req.Result
+	accepted, reason := c.table.complete(req.UnitID, req.Epoch, &res)
+	if accepted {
+		c.mu.Lock()
+		if info := c.workers[req.WorkerID]; info != nil {
+			info.results++
+		}
+		c.mu.Unlock()
+	} else {
+		c.logf("fleet: dropped result for %s from %s: %s", req.UnitID, req.WorkerID, reason)
+	}
+	c.publishGauges()
+	writeJSON(w, ResultResponse{Accepted: accepted, Reason: reason})
+}
+
+// StatusHandler serves the /fleet/status snapshot; the observatory mounts it
+// so the dashboard's fleet panel and scripted operators share one endpoint.
+func (c *Coordinator) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, c.status())
+	})
+}
+
+// status assembles the live fleet snapshot.
+func (c *Coordinator) status() Status {
+	pending, leased, doneN, requeues, dropped := c.table.counts()
+	c.mu.Lock()
+	cutoff := c.clock.Now().Add(-3 * c.cfg.LeaseTTL)
+	live := 0
+	for _, info := range c.workers {
+		if info.lastSeen.After(cutoff) {
+			live++
+		}
+	}
+	st := Status{
+		Generation:     c.gen,
+		Done:           c.done,
+		WorkersLive:    live,
+		WorkersTotal:   len(c.workers),
+		Pending:        pending,
+		Leased:         leased,
+		UnitsDone:      doneN,
+		Requeues:       requeues,
+		ResultsDropped: dropped,
+		LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+	}
+	targets := append([]string(nil), c.targets...)
+	c.mu.Unlock()
+	sort.Strings(targets)
+	for _, name := range targets {
+		st.Targets = append(st.Targets, TargetStatus{
+			Name:       name,
+			Signatures: c.cfg.Store.BenchSignatures(name),
+		})
+	}
+	return st
+}
+
+// publishGauges pushes the fleet snapshot into the observatory registry.
+func (c *Coordinator) publishGauges() {
+	g := c.cfg.Gauges
+	if g == nil {
+		return
+	}
+	st := c.status()
+	g.Gauge("fleet.workers_live").Set(float64(st.WorkersLive))
+	g.Gauge("fleet.workers_total").Set(float64(st.WorkersTotal))
+	g.Gauge("fleet.leases_pending").Set(float64(st.Pending))
+	g.Gauge("fleet.leases_inflight").Set(float64(st.Leased))
+	g.Gauge("fleet.units_done").Set(float64(st.UnitsDone))
+	g.Gauge("fleet.requeues").Set(float64(st.Requeues))
+	g.Gauge("fleet.results_dropped").Set(float64(st.ResultsDropped))
+	for _, t := range st.Targets {
+		g.Gauge("fleet.discovery." + t.Name).Set(float64(t.Signatures))
+	}
+}
+
+// readJSON decodes a request body, answering 400 on malformed input.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeJSON writes a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus writes a JSON response with an explicit status.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort write to client
+}

@@ -197,3 +197,26 @@ func TestLoadSkipsTruncatedFinalLine(t *testing.T) {
 		t.Fatal("mid-stream corruption accepted")
 	}
 }
+
+// TestLoadToleratesCRLF: a recording whose line endings became \r\n in
+// transit (git autocrlf, a Windows fleet worker) must load identically to
+// the LF original — \r is JSON whitespace, so the decoder's tolerance is
+// pinned here against a rewrite to a line-oriented loader.
+func TestLoadToleratesCRLF(t *testing.T) {
+	rec := record(t, 9)
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	crlf := strings.ReplaceAll(buf.String(), "\n", "\r\n")
+	loaded, err := Load(strings.NewReader(crlf))
+	if err != nil {
+		t.Fatalf("CRLF recording rejected: %v", err)
+	}
+	if loaded.Truncated {
+		t.Fatal("CRLF recording flagged truncated")
+	}
+	if d := Diverge(loaded, rec); d != nil {
+		t.Fatalf("CRLF recording diverged from the LF original: %v", d)
+	}
+}

@@ -61,6 +61,66 @@ type CampaignOptions struct {
 	// core.Options.Timing). Off by default so run logs stay byte-identical
 	// across repeat campaigns.
 	Timing bool
+	// Executor, when non-nil, runs each allocation round's units somewhere
+	// other than this process — the fleet coordinator implements it by
+	// leasing units to a worker pool and merging their result batches back
+	// in unit order. Nil runs every unit in-process (the classic adaptive
+	// campaign). Whatever the executor, the driver's accounting is the
+	// same, so a fleet campaign's corpus and rows match the single-process
+	// campaign at the same budget.
+	Executor RoundExecutor
+}
+
+// RoundUnit is one allocation round's work for one target: the
+// deterministic, distributable (target, seed, trial-budget) tuple. Any
+// process holding the same binary re-executes it bit-identically.
+type RoundUnit struct {
+	// Round is the 1-based allocation round.
+	Round int `json:"round"`
+	// TargetIndex is the target's index in the campaign's name list.
+	TargetIndex int `json:"targetIndex"`
+	// Target is the registry benchmark name.
+	Target string `json:"target"`
+	// Trials is the phase-2 trial budget this unit spends.
+	Trials int `json:"trials"`
+	// Seed is the round's base seed (roundSeed of the campaign master).
+	Seed int64 `json:"seed"`
+}
+
+// UnitOutcome is what executing one RoundUnit reports back to the driver.
+type UnitOutcome struct {
+	// Trials is the phase-2 trials actually run (< Trials requested when a
+	// round's phase 1 found fewer targets than the budget could cover).
+	Trials int `json:"trials"`
+	// Potential is the number of phase-1 warnings the unit's run reported.
+	Potential int `json:"potential"`
+}
+
+// RoundExecutor runs one allocation round's units and folds each unit's
+// discoveries into the campaign corpus. The contract the driver's
+// accounting depends on: for every unit i, in increasing i, the executor
+// calls begin(i), then performs (or completes) all of unit i's corpus
+// writes, then calls done(i, outcome) — so the driver can measure per-unit
+// discovery deltas around each fold exactly as the sequential loop does.
+// Units may execute concurrently (the fleet leases them all at once); only
+// the fold-and-callback sequence must be ordered.
+type RoundExecutor interface {
+	ExecuteRound(units []RoundUnit, begin func(i int), done func(i int, out UnitOutcome)) error
+}
+
+// localExecutor is the in-process RoundExecutor: units run sequentially on
+// the caller's goroutine, writing straight through to the campaign store.
+type localExecutor struct {
+	store *corpus.Store
+	o     CampaignOptions
+}
+
+func (e localExecutor) ExecuteRound(units []RoundUnit, begin func(i int), done func(i int, out UnitOutcome)) error {
+	for i, u := range units {
+		begin(i)
+		done(i, RunUnit(u, e.store, e.o))
+	}
+	return nil
 }
 
 func (o CampaignOptions) withDefaults() CampaignOptions {
@@ -101,8 +161,20 @@ type CampaignRow struct {
 }
 
 // RunAdaptiveCampaign runs the race pipeline over the named registry
-// benchmarks ("" or empty = all) under a global trial budget.
+// benchmarks ("" or empty = all) under a global trial budget, in-process.
 func RunAdaptiveCampaign(names []string, o CampaignOptions) []CampaignRow {
+	o.Executor = nil
+	rows, _ := RunCampaign(names, o) // the in-process executor cannot fail
+	return rows
+}
+
+// RunCampaign is RunAdaptiveCampaign with a pluggable round executor
+// (CampaignOptions.Executor): the driver allocates budget, measures per-unit
+// discovery deltas and advances the bandit exactly as the in-process
+// campaign does, while the executor decides where units actually run. An
+// executor error (e.g. the fleet coordinator shutting down mid-round)
+// aborts the campaign and returns the rows accumulated so far.
+func RunCampaign(names []string, o CampaignOptions) ([]CampaignRow, error) {
 	o = o.withDefaults()
 	if len(names) == 0 {
 		names = bench.Names()
@@ -111,11 +183,14 @@ func RunAdaptiveCampaign(names []string, o CampaignOptions) []CampaignRow {
 	if store == nil {
 		store = corpus.NewStore()
 	}
+	exec := o.Executor
+	if exec == nil {
+		exec = localExecutor{store: store, o: o}
+	}
 	rows := make([]CampaignRow, len(names))
 	states := make([]corpus.TargetState, len(names))
-	benches := make([]bench.Benchmark, len(names))
 	for i, n := range names {
-		benches[i] = bench.MustByName(n)
+		bench.MustByName(n) // fail fast on unknown targets
 		states[i] = corpus.TargetState{Name: n}
 		rows[i] = CampaignRow{Name: n}
 	}
@@ -130,46 +205,62 @@ func RunAdaptiveCampaign(names []string, o CampaignOptions) []CampaignRow {
 		o.Gauges.Gauge("campaign.round").Set(float64(r + 1))
 		o.Gauges.Gauge("campaign.round_budget").Set(float64(roundBudget))
 		alloc := corpus.Allocate(roundBudget, states)
+		var units []RoundUnit
 		for i := range names {
 			rows[i].AllocByRound = append(rows[i].AllocByRound, alloc[i])
 			if alloc[i] == 0 {
 				states[i] = states[i].Advance(0, 0)
 				continue
 			}
-			sigsBefore := store.BenchSignatures(names[i])
-			cellsBefore := store.CoverageLen()
-			_, knownBefore := store.Counts()
-			row := runBudgetedTarget(benches[i], alloc[i], roundSeed(o.Seed, r), r+1, store, o)
-			rows[i].Trials += row.trials
-			rows[i].Potential = row.potential
-			dSigs := store.BenchSignatures(names[i]) - sigsBefore
-			dCells := store.CoverageLen() - cellsBefore
-			_, knownAfter := store.Counts()
-			rows[i].NewSignatures += dSigs
-			rows[i].NewCells += dCells
-			rows[i].KnownSightings += int(knownAfter - knownBefore)
-			states[i] = states[i].Advance(dSigs, dCells)
+			units = append(units, RoundUnit{
+				Round: r + 1, TargetIndex: i, Target: names[i],
+				Trials: alloc[i], Seed: roundSeed(o.Seed, r),
+			})
+		}
+		// Per-unit accounting happens in the executor's ordered
+		// begin/fold/done window, so deltas attribute to the right target
+		// whether the unit ran here or on a worker three machines away.
+		var sigsBefore, cellsBefore int
+		var knownBefore int64
+		err := exec.ExecuteRound(units,
+			func(j int) {
+				i := units[j].TargetIndex
+				sigsBefore = store.BenchSignatures(names[i])
+				cellsBefore = store.CoverageLen()
+				_, knownBefore = store.Counts()
+			},
+			func(j int, out UnitOutcome) {
+				i := units[j].TargetIndex
+				rows[i].Trials += out.Trials
+				rows[i].Potential = out.Potential
+				dSigs := store.BenchSignatures(names[i]) - sigsBefore
+				dCells := store.CoverageLen() - cellsBefore
+				_, knownAfter := store.Counts()
+				rows[i].NewSignatures += dSigs
+				rows[i].NewCells += dCells
+				rows[i].KnownSightings += int(knownAfter - knownBefore)
+				states[i] = states[i].Advance(dSigs, dCells)
+			})
+		if err != nil {
+			return rows, fmt.Errorf("harness: campaign round %d: %w", r+1, err)
 		}
 	}
 	for i := range rows {
 		rows[i].Plateaued = states[i].Plateaued()
 	}
-	return rows
+	return rows, nil
 }
 
-// targetRound is one target's spend inside one allocation round.
-type targetRound struct {
-	trials    int
-	potential int
-}
-
-// runBudgetedTarget runs phase 1 and then spreads `trials` phase-2 runs
-// across the reported pairs (earlier pairs absorb the remainder; pairs past
-// the budget are skipped this round — a later round's fresh seed revisits
-// them).
-func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, round int, store *corpus.Store, o CampaignOptions) targetRound {
+// RunUnit executes one round unit against store: phase 1, then the unit's
+// trial budget spread across the reported pairs (earlier pairs absorb the
+// remainder; pairs past the budget are skipped this round — a later round's
+// fresh seed revisits them). It is the in-process campaign's inner loop and
+// the fleet worker's batch body: the unit tuple plus the store fully
+// determine the execution.
+func RunUnit(u RoundUnit, store *corpus.Store, o CampaignOptions) UnitOutcome {
+	b := bench.MustByName(u.Target)
 	opts := core.Options{
-		Seed:         seed,
+		Seed:         u.Seed,
 		Phase1Trials: b.Phase1Trials,
 		MaxSteps:     b.MaxSteps,
 		Workers:      o.Workers,
@@ -182,17 +273,17 @@ func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, round int, sto
 		Prof:         o.Prof,
 		PerfDir:      o.PerfDir,
 		Timing:       o.Timing,
-		Round:        round,
+		Round:        u.Round,
 	}
 	if opts.Phase1Trials <= 0 {
 		opts.Phase1Trials = 3
 	}
 	pairs := core.DetectPotentialRaces(b.New(), opts)
-	out := targetRound{potential: len(pairs)}
+	out := UnitOutcome{Potential: len(pairs)}
 	if len(pairs) == 0 {
 		return out
 	}
-	per, extra := trials/len(pairs), trials%len(pairs)
+	per, extra := u.Trials/len(pairs), u.Trials%len(pairs)
 	for j, pair := range pairs {
 		t := per
 		if j < extra {
@@ -204,7 +295,7 @@ func runBudgetedTarget(b bench.Benchmark, trials int, seed int64, round int, sto
 		po := opts
 		po.Phase2Trials = t
 		core.FuzzPair(b.New(), pair, j, po)
-		out.trials += t
+		out.Trials += t
 	}
 	return out
 }

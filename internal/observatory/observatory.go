@@ -77,6 +77,8 @@ type Server struct {
 
 	scrapes atomic.Int64
 
+	extra map[string]http.Handler
+
 	srv *http.Server
 	ln  net.Listener
 }
@@ -110,8 +112,19 @@ func New(cfg Config) *Server {
 		prof:    schedprof.NewCollector(),
 		cov:     newCoverageTracker(),
 		targets: make(map[targetKey]*targetCount),
+		extra:   make(map[string]http.Handler),
 		start:   time.Now(),
 	}
+}
+
+// Handle mounts an extra handler on the observatory's mux (e.g. the fleet
+// coordinator's /fleet/status). Call before Start; nil-safe no-op, so call
+// sites wire it unconditionally like every other accessor.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil || pattern == "" || h == nil {
+		return
+	}
+	s.extra[pattern] = h
 }
 
 // Campaign returns the aggregator /metrics renders (nil when off).
@@ -208,6 +221,9 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	return nil

@@ -427,3 +427,42 @@ func TestObservatoryTargetSeriesCap(t *testing.T) {
 		t.Errorf("exposed %d target series, want %d", got, maxTargetSeries)
 	}
 }
+
+// TestObservatoryMountsExtraHandlers covers the Handle hook the fleet
+// coordinator uses: a handler mounted before Start is served from the
+// observatory mux, and gauges published into the registry (as the
+// coordinator's fleet gauges are) surface on /metrics.
+func TestObservatoryMountsExtraHandlers(t *testing.T) {
+	cfg := Config{Label: "fleet"}
+	s := New(cfg)
+	s.Handle("/fleet/status", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"generation":"g-test","workersLive":2}`)
+	}))
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	body, resp := httpGet(t, "http://"+s.Addr()+"/fleet/status")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"g-test"`) {
+		t.Fatalf("/fleet/status = %d %q, want mounted handler's payload", resp.StatusCode, body)
+	}
+
+	s.Registry().Gauge("fleet.workers_live").Set(2)
+	s.Registry().Gauge("fleet.leases_inflight").Set(3)
+	metrics, _ := httpGet(t, "http://"+s.Addr()+"/metrics")
+	for _, want := range []string{"racefuzzer_fleet_workers_live 2", "racefuzzer_fleet_leases_inflight 3"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Handle is nil-safe like every other accessor.
+	var nilServer *Server
+	nilServer.Handle("/x", http.NotFoundHandler())
+}
