@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"racefuzzer/internal/analytics"
+	"racefuzzer/internal/fleetspan"
 )
 
 func main() {
@@ -33,8 +34,28 @@ func main() {
 		csvOut    = flag.String("csv", "", "write the multi-section CSV tables to this file")
 		mdOut     = flag.String("md", "", "write the markdown report to this file (default: stdout when no other output is chosen)")
 		diff      = flag.Bool("diff", false, "compare two campaigns: campaignreport -diff <dirA> <dirB> prints per-metric deltas (B-A) as markdown")
+		checkSpan = flag.String("checkspans", "", "validate a fleetspans.jsonl span trail against the schema (causal order, identity, outcome vocabulary) and print a summary; exits nonzero on any violation")
 	)
 	flag.Parse()
+
+	if *checkSpan != "" {
+		trails, err := fleetspan.LoadTrails(*checkSpan)
+		if err != nil {
+			fatal(err)
+		}
+		ingested, stitched := 0, 0
+		for _, tr := range trails {
+			if tr.Outcome == fleetspan.OutcomeIngested {
+				ingested++
+				if tr.Stitched() {
+					stitched++
+				}
+			}
+		}
+		fmt.Printf("campaignreport: %s: %d attempts valid (%d ingested, %d stitched)\n",
+			*checkSpan, len(trails), ingested, stitched)
+		return
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {

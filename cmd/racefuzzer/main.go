@@ -58,6 +58,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
@@ -68,6 +69,7 @@ import (
 	"racefuzzer/internal/core"
 	"racefuzzer/internal/corpus"
 	"racefuzzer/internal/fleet"
+	"racefuzzer/internal/fleetspan"
 	"racefuzzer/internal/flightrec"
 	"racefuzzer/internal/harness"
 	"racefuzzer/internal/obs"
@@ -109,9 +111,10 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
 
-		coordAddr = flag.String("coordinate", "", "with -budget: serve a fleet coordinator on this address (e.g. :7070) and run the campaign on remote -worker processes instead of in-process")
-		workerURL = flag.String("worker", "", "run as a fleet worker: pull leased trial batches from the coordinator at this base URL (e.g. http://host:7070) until its campaign completes")
-		version   = flag.Bool("version", false, "print the tool's build provenance (version, commit, toolchain) and exit")
+		coordAddr  = flag.String("coordinate", "", "with -budget: serve a fleet coordinator on this address (e.g. :7070) and run the campaign on remote -worker processes instead of in-process")
+		fleetTrace = flag.Bool("fleettrace", false, "with -coordinate: record the fleet flight recorder — per-unit lifecycle spans stitched across worker clocks, served live on /fleet/health and persisted as fleetspans.jsonl + a Perfetto trace next to the corpus")
+		workerURL  = flag.String("worker", "", "run as a fleet worker: pull leased trial batches from the coordinator at this base URL (e.g. http://host:7070) until its campaign completes")
+		version    = flag.Bool("version", false, "print the tool's build provenance (version, commit, toolchain) and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -152,13 +155,18 @@ func main() {
 	if *workerURL != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		workerMetrics := obs.NewRegistry()
 		err := fleet.RunWorker(ctx, fleet.WorkerOptions{
 			Coordinator: *workerURL,
 			Provenance:  obs.CollectProvenance("racefuzzer", "worker", nil),
+			Metrics:     workerMetrics,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "racefuzzer: "+format+"\n", args...)
 			},
 		})
+		if n := workerMetrics.Counter("results.permanent_reject").Value(); n > 0 {
+			fmt.Fprintf(os.Stderr, "racefuzzer: -worker: %d result batch(es) permanently rejected (requeued elsewhere; no work lost)\n", n)
+		}
 		if err != nil && ctx.Err() == nil {
 			fmt.Fprintf(os.Stderr, "racefuzzer: -worker: %v\n", err)
 			os.Exit(1)
@@ -354,10 +362,20 @@ func main() {
 	// /fleet/status endpoint rides the observatory mux, and its gauges land
 	// in the same registry /metrics renders.
 	var coord *fleet.Coordinator
+	var spans *fleetspan.Collector
 	fleetStore := store
 	if *coordAddr != "" {
 		if fleetStore == nil {
 			fleetStore = corpus.NewStore()
+		}
+		if *fleetTrace {
+			// The span-ID token comes from build provenance: deterministic
+			// across identical builds, distinguishable across versions.
+			token := prov.Commit
+			if token == "" {
+				token = "campaign"
+			}
+			spans = fleetspan.NewCollector(fleetspan.Config{Token: token})
 		}
 		coord = fleet.NewCoordinator(fleet.CoordinatorConfig{
 			Addr:       *coordAddr,
@@ -367,11 +385,16 @@ func main() {
 			Sink:       opts.Sink,
 			Gauges:     obsv.Registry(),
 			Provenance: prov,
+			Spans:      spans,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "racefuzzer: "+format+"\n", args...)
 			},
 		})
 		obsv.Handle("/fleet/status", coord.StatusHandler())
+		obsv.Handle("/fleet/health", coord.HealthHandler())
+	} else if *fleetTrace {
+		fmt.Fprintln(os.Stderr, "racefuzzer: -fleettrace requires -coordinate (the flight recorder traces fleet campaigns)")
+		os.Exit(2)
 	}
 	if obsv != nil {
 		if err := obsv.Start(); err != nil {
@@ -473,6 +496,9 @@ func main() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			coord.Shutdown(ctx)
 			cancel()
+			if spans != nil {
+				saveFleetTrail(spans, *corpusDir)
+			}
 		} else {
 			rows = harness.RunAdaptiveCampaign(names, copt)
 		}
@@ -587,6 +613,26 @@ func main() {
 }
 
 // portOf extracts the port of a host:port listen address (for the join hint
+// saveFleetTrail persists the flight recorder's artifacts next to the
+// corpus findings: the schema-validatable fleetspans.jsonl trail and a
+// Perfetto-loadable trace. Without -corpusdir they land in the working
+// directory — the trail is a side channel, never part of corpus identity.
+func saveFleetTrail(spans *fleetspan.Collector, corpusDir string) {
+	trails := spans.Trails()
+	trailPath := filepath.Join(corpusDir, fleetspan.TrailFile)
+	if err := fleetspan.WriteTrails(trailPath, trails); err != nil {
+		fmt.Fprintf(os.Stderr, "racefuzzer: -fleettrace: %v\n", err)
+		return
+	}
+	perfettoPath := filepath.Join(corpusDir, "fleettrace.json")
+	if err := fleetspan.SaveTrace(perfettoPath, trails); err != nil {
+		fmt.Fprintf(os.Stderr, "racefuzzer: -fleettrace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "racefuzzer: fleet trace: %d unit attempt(s) -> %s, %s (load in https://ui.perfetto.dev)\n",
+		len(trails), trailPath, perfettoPath)
+}
+
 // printed at coordinator startup).
 func portOf(addr string) string {
 	if _, port, err := net.SplitHostPort(addr); err == nil {

@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/fleetspan"
 	"racefuzzer/internal/flightrec"
 	"racefuzzer/internal/obs"
 )
@@ -68,6 +69,11 @@ type Campaign struct {
 	// Witnesses summarizes the flight recordings archived under the corpus
 	// witnesses directory, keyed by pipeline kind.
 	Witnesses []KindCount
+
+	// Trails is the fleet span trail (fleetspans.jsonl) when the campaign ran
+	// as a traced fleet; SpansName is its display basename.
+	Trails    []fleetspan.UnitTrail
+	SpansName string
 }
 
 // KindCount is a (name, count) pair used for per-kind breakdowns.
@@ -82,6 +88,8 @@ type Source struct {
 	Log string
 	// CorpusDir is the corpus directory ("" = no corpus).
 	CorpusDir string
+	// Spans is the fleet span trail path ("" = untraced / single-process).
+	Spans string
 }
 
 // Load ingests the named artifacts. At least one of Log and CorpusDir must
@@ -104,6 +112,14 @@ func Load(src Source) (*Campaign, error) {
 			return nil, err
 		}
 	}
+	if src.Spans != "" {
+		trails, err := fleetspan.LoadTrails(src.Spans)
+		if err != nil {
+			return nil, fmt.Errorf("analytics: %w", err)
+		}
+		c.Trails = trails
+		c.SpansName = filepath.Base(src.Spans)
+	}
 	return c, nil
 }
 
@@ -123,6 +139,13 @@ func LoadDir(dir string) (*Campaign, error) {
 		src.CorpusDir = dir
 	} else if _, err := os.Stat(filepath.Join(dir, "corpus", "MANIFEST.json")); err == nil {
 		src.CorpusDir = filepath.Join(dir, "corpus")
+	}
+	// The fleet span trail sits next to the corpus artifacts.
+	for _, d := range []string{dir, filepath.Join(dir, "corpus")} {
+		if _, err := os.Stat(filepath.Join(d, fleetspan.TrailFile)); err == nil {
+			src.Spans = filepath.Join(d, fleetspan.TrailFile)
+			break
+		}
 	}
 	if src.Log == "" && src.CorpusDir == "" {
 		return nil, fmt.Errorf("analytics: %s: no run log (*.jsonl) or corpus (MANIFEST.json) found", dir)

@@ -23,6 +23,8 @@ type Report struct {
 	Frontier FrontierStats
 	Audit    []AuditRow
 	Checks   []ReconcileCheck
+	// Fleet is the fleet-tracing section (nil for untraced campaigns).
+	Fleet *FleetStats
 
 	Witnesses []KindCount
 }
@@ -31,6 +33,7 @@ type Report struct {
 type SourceInfo struct {
 	LogName         string
 	CorpusName      string
+	SpansName       string
 	LogTruncated    bool
 	CorpusTruncated bool
 }
@@ -213,7 +216,7 @@ func (r ReconcileCheck) Match() bool { return r.Log == r.Corpus }
 func Analyze(c *Campaign) *Report {
 	r := &Report{
 		Sources: SourceInfo{
-			LogName: c.LogName, CorpusName: c.CorpusName,
+			LogName: c.LogName, CorpusName: c.CorpusName, SpansName: c.SpansName,
 			LogTruncated: c.LogTruncated, CorpusTruncated: c.CorpusTruncated,
 		},
 		Provenance:       c.Provenance,
@@ -226,6 +229,7 @@ func Analyze(c *Campaign) *Report {
 	r.Frontier = frontier(c)
 	r.Audit = banditAudit(c.Records)
 	r.Checks = reconcile(c, r.Totals)
+	r.Fleet = fleetStats(c.Trails)
 	return r
 }
 

@@ -1,0 +1,173 @@
+package analytics
+
+import (
+	"sort"
+
+	"racefuzzer/internal/fleetspan"
+)
+
+// FleetStats is the fleet section of the report, computed from the campaign's
+// fleetspan trail (fleetspans.jsonl). Nil when the campaign ran untraced or
+// single-process.
+type FleetStats struct {
+	// Attempts counts every trail record; Ingested, Requeued and Dropped
+	// split them by outcome.
+	Attempts int
+	Ingested int
+	Requeued int
+	Dropped  int
+	// Stitched counts ingested attempts whose worker sub-spans were
+	// clock-stitched; Clamped counts those where skew forced a clamp.
+	Stitched int
+	Clamped  int
+	// TimeLostToRequeuesNs is coordinator-clock time spent on leases that
+	// expired and had to be re-executed.
+	TimeLostToRequeuesNs int64
+	// Workers is the per-worker breakdown, sorted by worker name.
+	Workers []FleetWorkerStats
+	// Waterfall is the span-phase breakdown of the mean ingested attempt,
+	// in causal order.
+	Waterfall []PhaseStat
+}
+
+// FleetWorkerStats is one worker's slice of the fleet campaign.
+type FleetWorkerStats struct {
+	Worker   string
+	Ingested int
+	Dropped  int
+	// LeaseLatP50Ns/P95Ns summarize leased→lease-received latency (stitched;
+	// 0 when no attempt stitched).
+	LeaseLatP50Ns int64
+	LeaseLatP95Ns int64
+	// ExecP50Ns/P95Ns summarize the trial-execution span.
+	ExecP50Ns int64
+	ExecP95Ns int64
+}
+
+// PhaseStat is one phase of the unit-lifecycle waterfall: total and mean
+// time spent in that phase across ingested attempts that recorded it.
+type PhaseStat struct {
+	Phase   string
+	Count   int
+	TotalNs int64
+	MeanNs  int64
+}
+
+// fleetStats folds the span trail into the report section. Only ingested
+// attempts feed latency distributions — a requeued attempt has no meaningful
+// end-to-end story, but its lost time is tallied separately.
+func fleetStats(trails []fleetspan.UnitTrail) *FleetStats {
+	if len(trails) == 0 {
+		return nil
+	}
+	f := &FleetStats{Attempts: len(trails)}
+	type wacc struct {
+		ingested, dropped int
+		leaseLat, exec    []int64
+	}
+	workers := map[string]*wacc{}
+	phases := map[string]*PhaseStat{}
+	phase := func(name string, from, to int64) {
+		if from == 0 || to == 0 || to < from {
+			return
+		}
+		p := phases[name]
+		if p == nil {
+			p = &PhaseStat{Phase: name}
+			phases[name] = p
+		}
+		p.Count++
+		p.TotalNs += to - from
+	}
+	for _, tr := range trails {
+		w := workers[tr.Worker]
+		if w == nil && tr.Worker != "" {
+			w = &wacc{}
+			workers[tr.Worker] = w
+		}
+		switch tr.Outcome {
+		case fleetspan.OutcomeRequeued:
+			f.Requeued++
+			f.TimeLostToRequeuesNs += tr.EndNs - tr.LeasedNs
+			continue
+		case fleetspan.OutcomeDropped:
+			f.Dropped++
+			if w != nil {
+				w.dropped++
+			}
+			continue
+		}
+		f.Ingested++
+		if w != nil {
+			w.ingested++
+		}
+		if tr.Stitched() {
+			f.Stitched++
+			if tr.Clamped {
+				f.Clamped++
+			}
+			if w != nil {
+				if lat := tr.LeaseRecvNs - tr.LeasedNs; lat >= 0 && tr.LeaseRecvNs != 0 {
+					w.leaseLat = append(w.leaseLat, lat)
+				}
+				w.exec = append(w.exec, tr.ExecNs())
+			}
+		} else if w != nil {
+			w.exec = append(w.exec, tr.ExecNs())
+		}
+		phase("queue wait", tr.QueuedNs, tr.LeasedNs)
+		phase("lease delivery", tr.LeasedNs, tr.LeaseRecvNs)
+		phase("exec setup", tr.LeaseRecvNs, tr.ExecStartNs)
+		phase("trial execution", tr.ExecStartNs, tr.ExecEndNs)
+		phase("result packaging", tr.ExecEndNs, tr.PostedNs)
+		phase("result upload", tr.PostedNs, tr.ResultNs)
+		phase("merge + barrier", tr.ResultNs, tr.IngestedNs)
+	}
+	names := make([]string, 0, len(workers))
+	for name := range workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := workers[name]
+		f.Workers = append(f.Workers, FleetWorkerStats{
+			Worker:        name,
+			Ingested:      w.ingested,
+			Dropped:       w.dropped,
+			LeaseLatP50Ns: rankNs(w.leaseLat, 0.50),
+			LeaseLatP95Ns: rankNs(w.leaseLat, 0.95),
+			ExecP50Ns:     rankNs(w.exec, 0.50),
+			ExecP95Ns:     rankNs(w.exec, 0.95),
+		})
+	}
+	for _, name := range []string{
+		"queue wait", "lease delivery", "exec setup", "trial execution",
+		"result packaging", "result upload", "merge + barrier",
+	} {
+		p := phases[name]
+		if p == nil || p.Count == 0 {
+			continue
+		}
+		p.MeanNs = p.TotalNs / int64(p.Count)
+		f.Waterfall = append(f.Waterfall, *p)
+	}
+	return f
+}
+
+// rankNs is the nearest-rank quantile of an unsorted ns sample (0 if empty).
+func rankNs(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s)+1)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -35,6 +35,25 @@ type htmlView struct {
 	Checks      []checkView
 	Witnesses   []KindCount
 	HasAnalysis bool
+
+	Fleet        *FleetStats
+	FleetLost    string
+	FleetWorkers []fleetWorkerView
+	FleetPhases  []fleetPhaseView
+}
+
+type fleetWorkerView struct {
+	Worker             string
+	Ingested, Dropped  int
+	LeaseP50, LeaseP95 string
+	ExecP50, ExecP95   string
+}
+
+type fleetPhaseView struct {
+	Phase       string
+	Count       int
+	Mean, Total string
+	BarPct      string
 }
 
 type kv struct{ K, V string }
@@ -85,6 +104,9 @@ func buildView(r *Report) htmlView {
 		}
 		v.Sources = append(v.Sources, s)
 	}
+	if r.Sources.SpansName != "" {
+		v.Sources = append(v.Sources, "fleet span trail: "+r.Sources.SpansName)
+	}
 	if r.Provenance != nil {
 		v.Provenance = append(v.Provenance, "log: "+r.Provenance.String())
 	}
@@ -126,5 +148,33 @@ func buildView(r *Report) htmlView {
 		v.Checks = append(v.Checks, checkView{ReconcileCheck: c, MatchText: yesNo(c.Match())})
 	}
 	v.Witnesses = r.Witnesses
+	if f := r.Fleet; f != nil {
+		v.Fleet = f
+		v.FleetLost = durNs(f.TimeLostToRequeuesNs)
+		for _, w := range f.Workers {
+			v.FleetWorkers = append(v.FleetWorkers, fleetWorkerView{
+				Worker: w.Worker, Ingested: w.Ingested, Dropped: w.Dropped,
+				LeaseP50: durNs(w.LeaseLatP50Ns), LeaseP95: durNs(w.LeaseLatP95Ns),
+				ExecP50: durNs(w.ExecP50Ns), ExecP95: durNs(w.ExecP95Ns),
+			})
+		}
+		var maxTotal int64
+		for _, p := range f.Waterfall {
+			if p.TotalNs > maxTotal {
+				maxTotal = p.TotalNs
+			}
+		}
+		for _, p := range f.Waterfall {
+			pct := 0.0
+			if maxTotal > 0 {
+				pct = 100 * float64(p.TotalNs) / float64(maxTotal)
+			}
+			v.FleetPhases = append(v.FleetPhases, fleetPhaseView{
+				Phase: p.Phase, Count: p.Count,
+				Mean: durNs(p.MeanNs), Total: durNs(p.TotalNs),
+				BarPct: num(pct),
+			})
+		}
+	}
 	return v
 }

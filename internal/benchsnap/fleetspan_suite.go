@@ -1,0 +1,62 @@
+package benchsnap
+
+import (
+	"fmt"
+
+	"racefuzzer/internal/fleetspan"
+)
+
+// FleetspanSuite measures the fleet flight recorder's per-unit cost: the
+// full queued→leased→heartbeat→result→ingested hook sequence against a live
+// collector, and the identical sequence against a nil collector — the
+// product configuration for untraced campaigns, which PR policy holds to a
+// ≤1% overhead budget (enforced as a hard test in
+// fleetspan.TestCollectorDisabledOverhead; the snapshot tracks the numbers
+// release over release).
+func FleetspanSuite(o SuiteOptions) *Snapshot {
+	o = o.withDefaults()
+	snap := &Snapshot{
+		Schema: SchemaVersion,
+		Suite:  "fleetspan",
+		Description: "Fleet span-collector unit-lifecycle cost: live collector vs the " +
+			"nil-collector no-op path untraced campaigns run. The disabled path's " +
+			"budget is a hard test (fleetspan disabled-overhead); these numbers track drift.",
+		Benchtime: o.Benchtime.String(),
+		Note:      o.Note,
+	}
+
+	// One op = one unit's full hook sequence, worker sub-spans included.
+	// The collector is recycled every 4096 units the way a campaign's rounds
+	// bound it, so the measurement doesn't degenerate into append cost on an
+	// ever-growing trail.
+	lifecycle := func(c *fleetspan.Collector, i int64) {
+		id := fmt.Sprintf("r1-t%d", i&4095)
+		c.UnitQueued(id, 1, int(i&4095), "benchsnap")
+		c.UnitLeased(id, "w1", i)
+		c.Heartbeat("w1", id, 0)
+		c.UnitResult(id, "w1", i, true, "", &fleetspan.WorkerSpans{})
+		c.UnitIngested(id)
+	}
+	{
+		col := fleetspan.NewCollector(fleetspan.Config{Token: "benchsnap"})
+		var i int64
+		res := Measure("unit_lifecycle_traced", o.Benchtime, func() {
+			if i&4095 == 4095 {
+				col = fleetspan.NewCollector(fleetspan.Config{Token: "benchsnap"})
+			}
+			lifecycle(col, i)
+			i++
+		})
+		snap.Results = append(snap.Results, res)
+	}
+	{
+		var nilCol *fleetspan.Collector
+		var i int64
+		res := Measure("unit_lifecycle_disabled", o.Benchtime, func() {
+			lifecycle(nilCol, i)
+			i++
+		})
+		snap.Results = append(snap.Results, res)
+	}
+	return snap
+}

@@ -32,7 +32,7 @@ func (o SuiteOptions) withDefaults() SuiteOptions {
 }
 
 // Suites names the suites cmd/benchsnap can run.
-func Suites() []string { return []string{"sched", "parallel"} }
+func Suites() []string { return []string{"sched", "parallel", "fleetspan"} }
 
 // RunSuite dispatches by suite name. The returned timeline (may be nil) is
 // a Perfetto-exportable sample trial for CI failure artifacts.
@@ -43,6 +43,8 @@ func RunSuite(suite string, o SuiteOptions) (*Snapshot, *schedprof.Timeline, err
 		return s, tl, nil
 	case "parallel":
 		return ParallelSuite(o), nil, nil
+	case "fleetspan":
+		return FleetspanSuite(o), nil, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown suite %q (have %v)", suite, Suites())
 	}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/fleetspan"
 	"racefuzzer/internal/harness"
 	"racefuzzer/internal/obs"
 )
@@ -59,6 +60,11 @@ type CoordinatorConfig struct {
 	// leases in flight, requeues, per-target discovery) the observatory
 	// renders on /metrics.
 	Gauges *obs.Registry
+	// Spans, when non-nil, turns on distributed unit-lifecycle tracing: the
+	// collector records every queued→leased→result→ingested transition,
+	// stitches worker sub-spans, and feeds /fleet/health. Nil is the
+	// zero-overhead untraced default.
+	Spans *fleetspan.Collector
 	// LeaseTTL overrides DefaultLeaseTTL.
 	LeaseTTL time.Duration
 	// Clock overrides the system clock (tests).
@@ -114,7 +120,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	return &Coordinator{
 		cfg:      cfg,
 		clock:    clock,
-		table:    newLeaseTable(clock, cfg.LeaseTTL),
+		table:    newLeaseTable(clock, cfg.LeaseTTL, cfg.Spans),
 		gen:      fmt.Sprintf("g-%d-%d", os.Getpid(), time.Now().UnixNano()),
 		workers:  make(map[string]*workerInfo),
 		notified: make(map[string]bool),
@@ -143,6 +149,7 @@ func (c *Coordinator) Mux() *http.ServeMux {
 	mux.HandleFunc("/fleet/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("/fleet/result", c.handleResult)
 	mux.Handle("/fleet/status", c.StatusHandler())
+	mux.Handle("/fleet/health", c.HealthHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -258,6 +265,7 @@ func (c *Coordinator) ExecuteRound(units []harness.RoundUnit, begin func(i int),
 		}
 		begin(i)
 		c.mergeResult(res)
+		c.cfg.Spans.UnitIngested(ids[i])
 		done(i, harness.UnitOutcome{Trials: res.Trials, Potential: res.Potential})
 	}
 	c.publishGauges()
@@ -311,6 +319,7 @@ func (c *Coordinator) campaignInfo() CampaignInfo {
 		Workers:   c.cfg.Workers,
 		Witnesses: c.cfg.Store.WitnessDir() != "",
 		Records:   c.cfg.Metrics != nil || c.cfg.Sink != nil,
+		Trace:     c.cfg.Spans.Enabled(),
 	}
 }
 
@@ -402,6 +411,8 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !c.touchWorker(w, req.WorkerID, req.Generation) {
 		return
 	}
+	// Even a lost lease's heartbeat teaches the worker's clock offset.
+	c.cfg.Spans.Heartbeat(req.WorkerID, req.UnitID, req.SentUnixNs)
 	ok := c.table.heartbeat(req.WorkerID, req.UnitID, req.Epoch)
 	writeJSON(w, HeartbeatResponse{OK: ok, Lost: !ok})
 }
@@ -417,18 +428,23 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := req.Result
-	accepted, reason := c.table.complete(req.UnitID, req.Epoch, &res)
-	if accepted {
-		c.mu.Lock()
-		if info := c.workers[req.WorkerID]; info != nil {
-			info.results++
-		}
-		c.mu.Unlock()
-	} else {
+	accepted, reason := c.table.complete(req.WorkerID, req.UnitID, req.Epoch, &res)
+	if !accepted {
+		// A dropped result is permanent: the identical submission can never
+		// be accepted, so answer 410 and let the worker count it rather than
+		// retry it.
 		c.logf("fleet: dropped result for %s from %s: %s", req.UnitID, req.WorkerID, reason)
+		c.publishGauges()
+		writeJSONStatus(w, http.StatusGone, errorBody{Error: reason, Code: codeRejected})
+		return
 	}
+	c.mu.Lock()
+	if info := c.workers[req.WorkerID]; info != nil {
+		info.results++
+	}
+	c.mu.Unlock()
 	c.publishGauges()
-	writeJSON(w, ResultResponse{Accepted: accepted, Reason: reason})
+	writeJSON(w, ResultResponse{Accepted: true})
 }
 
 // StatusHandler serves the /fleet/status snapshot; the observatory mounts it
@@ -436,6 +452,19 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) StatusHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, c.status())
+	})
+}
+
+// HealthHandler serves the /fleet/health flight-deck snapshot: campaign
+// score, live anomalies, per-worker vitals. 404 when tracing is off, so the
+// dashboard's probe can tell "no flight deck" from "unhealthy fleet".
+func (c *Coordinator) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if !c.cfg.Spans.Enabled() {
+			writeJSONStatus(w, http.StatusNotFound, errorBody{Error: "fleet tracing disabled (run the coordinator with -fleettrace)"})
+			return
+		}
+		writeJSON(w, c.cfg.Spans.Health())
 	})
 }
 
@@ -490,6 +519,13 @@ func (c *Coordinator) publishGauges() {
 	g.Gauge("fleet.results_dropped").Set(float64(st.ResultsDropped))
 	for _, t := range st.Targets {
 		g.Gauge("fleet.discovery." + t.Name).Set(float64(t.Signatures))
+	}
+	if c.cfg.Spans.Enabled() {
+		h := c.cfg.Spans.Health()
+		g.Gauge("fleet.health_score").Set(float64(h.Score))
+		g.Gauge("fleet.health_anomalies").Set(float64(len(h.Anomalies)))
+		g.Gauge("fleet.health_recent_requeues").Set(float64(h.RecentRequeues))
+		g.Gauge("fleet.health_time_lost_requeues_ms").Set(h.TimeLostToRequeuesMs)
 	}
 }
 

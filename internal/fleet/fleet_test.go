@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/fleetspan"
 	"racefuzzer/internal/harness"
+	"racefuzzer/internal/obs"
 )
 
 // startCoordinator boots a coordinator on a loopback port and tears it down
@@ -39,6 +41,18 @@ func startCoordinator(t *testing.T, cfg CoordinatorConfig) *Coordinator {
 // corpus findings and coverage, and byte-identical witness recordings as
 // the in-process RunAdaptiveCampaign at the same budget.
 func TestFleetCampaignMatchesSingleProcess(t *testing.T) {
+	testFleetMatchesSingleProcess(t, false)
+}
+
+// TestFleetCampaignMatchesSingleProcessTraced re-runs the determinism
+// contract with fleetspan tracing on: span capture must not perturb any
+// campaign artifact, and the trail itself must validate, stitch worker
+// sub-spans, and export to Perfetto.
+func TestFleetCampaignMatchesSingleProcessTraced(t *testing.T) {
+	testFleetMatchesSingleProcess(t, true)
+}
+
+func testFleetMatchesSingleProcess(t *testing.T, traced bool) {
 	names := []string{"figure1", "vector"}
 	opt := func(store *corpus.Store) harness.CampaignOptions {
 		return harness.CampaignOptions{Seed: 7, Budget: 40, Rounds: 2, Corpus: store}
@@ -61,7 +75,11 @@ func TestFleetCampaignMatchesSingleProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord := startCoordinator(t, CoordinatorConfig{Store: store, LeaseTTL: 5 * time.Second})
+	cfg := CoordinatorConfig{Store: store, LeaseTTL: 5 * time.Second}
+	if traced {
+		cfg.Spans = fleetspan.NewCollector(fleetspan.Config{Token: "e2e"})
+	}
+	coord := startCoordinator(t, cfg)
 	coord.SetTargets(names)
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
@@ -124,6 +142,38 @@ func TestFleetCampaignMatchesSingleProcess(t *testing.T) {
 	st := coord.status()
 	if st.UnitsDone == 0 || st.Pending != 0 || st.Leased != 0 {
 		t.Fatalf("fleet status after campaign: %+v", st)
+	}
+
+	if traced {
+		// The span trail must cover every unit, validate against the schema
+		// after a disk round trip, carry stitched worker sub-spans, and
+		// export to a loadable Perfetto trace.
+		trailPath := filepath.Join(fleetDir, fleetspan.TrailFile)
+		if err := fleetspan.WriteTrails(trailPath, cfg.Spans.Trails()); err != nil {
+			t.Fatalf("write trail: %v", err)
+		}
+		trails, err := fleetspan.LoadTrails(trailPath)
+		if err != nil {
+			t.Fatalf("trail does not validate: %v", err)
+		}
+		ingested, stitched := 0, 0
+		for _, tr := range trails {
+			if tr.Outcome == fleetspan.OutcomeIngested {
+				ingested++
+				if tr.Stitched() {
+					stitched++
+				}
+			}
+		}
+		if ingested != st.UnitsDone {
+			t.Errorf("trail has %d ingested attempts, status says %d units done", ingested, st.UnitsDone)
+		}
+		if stitched != ingested {
+			t.Errorf("only %d/%d ingested attempts carry stitched worker spans", stitched, ingested)
+		}
+		if evs := fleetspan.Events(trails); len(evs) == 0 {
+			t.Error("Perfetto export is empty")
+		}
 	}
 }
 
@@ -212,20 +262,22 @@ func TestFleetRequeueConvergesAfterWorkerDeath(t *testing.T) {
 
 	// The doomed worker wakes up long after its lease expired and submits
 	// the batch it computed; determinism makes the batch identical, but the
-	// protocol must still drop it.
+	// protocol must still drop it — permanently, as a 410 the worker-side
+	// retry loop knows never to resubmit.
 	res, err := ExecuteUnit(doomedUnit, reg.Campaign)
 	if err != nil {
 		t.Fatalf("doomed execute: %v", err)
 	}
 	var rr ResultResponse
-	if err := postJSON(ctx, client, base+"/fleet/result", ResultRequest{
+	err = postJSON(ctx, client, base+"/fleet/result", ResultRequest{
 		WorkerID: reg.WorkerID, Generation: reg.Generation,
 		UnitID: doomedUnit.ID, Epoch: doomedEpoch, Result: res,
-	}, &rr); err != nil {
-		t.Fatalf("late result: %v", err)
-	}
-	if rr.Accepted {
+	}, &rr)
+	if err == nil {
 		t.Fatal("expired lease's late result was accepted")
+	}
+	if !isPermanentReject(err) {
+		t.Fatalf("late result rejected non-permanently: %v", err)
 	}
 
 	coord.Finish()
@@ -344,4 +396,275 @@ func TestCoordinatorRejectsStaleGeneration(t *testing.T) {
 	if !isReregister(err) {
 		t.Fatalf("stale generation answered %v, want reregister error", err)
 	}
+}
+
+// TestWorkerResultRetryTransientThenSuccess: 5xx answers on /fleet/result
+// are transient — the worker must retry with backoff and deliver the batch.
+func TestWorkerResultRetryTransientThenSuccess(t *testing.T) {
+	var mu sync.Mutex
+	resultPosts := 0
+	mux := scriptedControlPlane(t, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		resultPosts++
+		n := resultPosts
+		mu.Unlock()
+		if n < 3 {
+			writeJSONStatus(w, http.StatusInternalServerError, errorBody{Error: "merge hiccup"})
+			return
+		}
+		writeJSON(w, ResultResponse{Accepted: true})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	metrics := obs.NewRegistry()
+	err := RunWorker(context.Background(), WorkerOptions{
+		Coordinator: srv.URL,
+		Name:        "retry",
+		Metrics:     metrics,
+		Execute: func(u WorkUnit, info CampaignInfo) (UnitResult, error) {
+			return UnitResult{Trials: u.Trials}, nil
+		},
+		Sleep: func(context.Context, time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	if resultPosts != 3 {
+		t.Errorf("result posts = %d, want 3 (two 500s then success)", resultPosts)
+	}
+	if v := metrics.Counter("results.permanent_reject").Value(); v != 0 {
+		t.Errorf("permanent_reject = %d, want 0 for transient failures", v)
+	}
+}
+
+// TestWorkerResultPermanentRejectNotRetried: a 410 drop is final — one POST,
+// no retries, one counted results.permanent_reject.
+func TestWorkerResultPermanentRejectNotRetried(t *testing.T) {
+	var mu sync.Mutex
+	resultPosts := 0
+	mux := scriptedControlPlane(t, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		resultPosts++
+		mu.Unlock()
+		writeJSONStatus(w, http.StatusGone, errorBody{Error: "stale lease epoch", Code: codeRejected})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	metrics := obs.NewRegistry()
+	err := RunWorker(context.Background(), WorkerOptions{
+		Coordinator: srv.URL,
+		Name:        "rejected",
+		Metrics:     metrics,
+		Execute: func(u WorkUnit, info CampaignInfo) (UnitResult, error) {
+			return UnitResult{Trials: u.Trials}, nil
+		},
+		Sleep: func(context.Context, time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	if resultPosts != 1 {
+		t.Errorf("result posts = %d, want 1 (permanent drops are not retried)", resultPosts)
+	}
+	if v := metrics.Counter("results.permanent_reject").Value(); v != 1 {
+		t.Errorf("permanent_reject = %d, want 1", v)
+	}
+}
+
+// scriptedControlPlane builds a one-unit control plane whose /fleet/result
+// behavior the test supplies: register, grant r1-t0 once, then Done.
+func scriptedControlPlane(t *testing.T, result http.HandlerFunc) *http.ServeMux {
+	t.Helper()
+	var mu sync.Mutex
+	leases := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, RegisterResponse{WorkerID: "w1", Generation: "g1", LeaseTTLMillis: 60_000})
+	})
+	mux.HandleFunc("/fleet/lease", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		leases++
+		n := leases
+		mu.Unlock()
+		if n == 1 {
+			writeJSON(w, LeaseResponse{Unit: &WorkUnit{ID: "r1-t0", Target: "figure1", Trials: 1, Seed: 7}, Epoch: 1})
+			return
+		}
+		writeJSON(w, LeaseResponse{Done: true})
+	})
+	mux.HandleFunc("/fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, HeartbeatResponse{OK: true})
+	})
+	mux.HandleFunc("/fleet/result", result)
+	return mux
+}
+
+// fakeFleetClock is a manually-advanced Clock shared by the coordinator and
+// its span collector in the flight-deck test.
+type fakeFleetClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+func (c *fakeFleetClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Unix(0, c.ns)
+}
+
+func (c *fakeFleetClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.ns += d.Nanoseconds()
+	c.mu.Unlock()
+}
+
+// TestFleetHealthFlightDeck scripts the acceptance scenario over the real
+// control plane with a fake clock: a healthy round, then a killed worker
+// producing a straggler and a requeue storm visible on /fleet/health (score
+// degrades), then completion and window expiry (score recovers).
+func TestFleetHealthFlightDeck(t *testing.T) {
+	clk := &fakeFleetClock{ns: 1_000_000_000_000}
+	spans := fleetspan.NewCollector(fleetspan.Config{
+		Token:               "deck",
+		Clock:               clk,
+		StragglerFactor:     2,
+		StragglerMinSamples: 3,
+		StormWindow:         30 * time.Second,
+		StormThreshold:      3,
+	})
+	coord := startCoordinator(t, CoordinatorConfig{
+		Store:    corpus.NewStore(),
+		LeaseTTL: time.Second,
+		Clock:    clk,
+		Spans:    spans,
+	})
+	base := "http://" + coord.Addr()
+	client := &http.Client{Timeout: 10 * time.Second}
+	ctx := context.Background()
+
+	var reg RegisterResponse
+	if err := postJSON(ctx, client, base+"/fleet/register", RegisterRequest{Name: "deck-worker"}, &reg); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if !reg.Campaign.Trace {
+		t.Fatal("campaign info does not ask workers to trace")
+	}
+
+	getHealth := func() fleetspan.Health {
+		t.Helper()
+		resp, err := client.Get(base + "/fleet/health")
+		if err != nil {
+			t.Fatalf("GET /fleet/health: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/fleet/health: HTTP %d", resp.StatusCode)
+		}
+		var h fleetspan.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("decode health: %v", err)
+		}
+		return h
+	}
+
+	leaseUnit := func(wantID string) LeaseResponse {
+		t.Helper()
+		var lease LeaseResponse
+		if err := postJSON(ctx, client, base+"/fleet/lease",
+			LeaseRequest{WorkerID: reg.WorkerID, Generation: reg.Generation}, &lease); err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if lease.Unit == nil || lease.Unit.ID != wantID {
+			t.Fatalf("leased %+v, want unit %s", lease.Unit, wantID)
+		}
+		return lease
+	}
+	postResultOK := func(id string, epoch int64) {
+		t.Helper()
+		var rr ResultResponse
+		if err := postJSON(ctx, client, base+"/fleet/result", ResultRequest{
+			WorkerID: reg.WorkerID, Generation: reg.Generation,
+			UnitID: id, Epoch: epoch, Result: UnitResult{Trials: 1},
+		}, &rr); err != nil {
+			t.Fatalf("result %s: %v", id, err)
+		}
+	}
+
+	// Round 1: three healthy ~100ms units teach the target's exec profile.
+	round1 := []harness.RoundUnit{
+		{Round: 1, TargetIndex: 0, Target: "figure1", Trials: 1, Seed: 7},
+		{Round: 1, TargetIndex: 1, Target: "figure1", Trials: 1, Seed: 7},
+		{Round: 1, TargetIndex: 2, Target: "figure1", Trials: 1, Seed: 7},
+	}
+	roundDone := make(chan error, 1)
+	go func() { roundDone <- coord.ExecuteRound(round1, func(int) {}, func(int, harness.UnitOutcome) {}) }()
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("r1-t%d", i)
+		lease := leaseUnit(id)
+		clk.advance(100 * time.Millisecond)
+		postResultOK(id, lease.Epoch)
+	}
+	if err := <-roundDone; err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if h := getHealth(); h.Score != 100 || h.UnitsDone != 3 {
+		t.Fatalf("healthy fleet: score %d, done %d: %+v", h.Score, h.UnitsDone, h)
+	}
+
+	// Round 2: the worker takes the unit and dies. The lease runs far past
+	// 2× the target's p95 — a straggler — and then expires repeatedly under
+	// the sweeper — a requeue storm.
+	round2 := []harness.RoundUnit{{Round: 2, TargetIndex: 0, Target: "figure1", Trials: 1, Seed: 9}}
+	go func() { roundDone <- coord.ExecuteRound(round2, func(int) {}, func(int, harness.UnitOutcome) {}) }()
+	lease := leaseUnit("r2-t0")
+	clk.advance(900 * time.Millisecond) // straggling, lease still live
+	h := getHealth()
+	if n := countAnomalies(h, fleetspan.AnomalyStraggler); n != 1 {
+		t.Fatalf("want 1 straggler anomaly, got %d: %+v", n, h.Anomalies)
+	}
+	if h.Score >= 100 {
+		t.Fatalf("straggler did not degrade score: %+v", h)
+	}
+	degraded := h.Score
+
+	for i := 0; i < 3; i++ {
+		clk.advance(2 * time.Second) // expire the lease
+		coord.table.sweep()
+		lease = leaseUnit("r2-t0")
+	}
+	h = getHealth()
+	if countAnomalies(h, fleetspan.AnomalyRequeueStorm) != 1 {
+		t.Fatalf("want a requeue-storm anomaly: %+v", h.Anomalies)
+	}
+	if h.Score >= degraded {
+		t.Fatalf("storm did not degrade score further: %d vs %d", h.Score, degraded)
+	}
+
+	// Recovery: the final lease completes, the round barrier ingests it, and
+	// the storm window slides past.
+	clk.advance(100 * time.Millisecond)
+	postResultOK("r2-t0", lease.Epoch)
+	if err := <-roundDone; err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	clk.advance(time.Minute)
+	h = getHealth()
+	if h.Score != 100 || len(h.Anomalies) != 0 {
+		t.Fatalf("fleet did not recover: score %d, anomalies %+v", h.Score, h.Anomalies)
+	}
+	if h.UnitsDone != 4 || h.UnitsInFlight != 0 {
+		t.Errorf("units done %d in flight %d, want 4/0", h.UnitsDone, h.UnitsInFlight)
+	}
+}
+
+func countAnomalies(h fleetspan.Health, kind string) int {
+	n := 0
+	for _, a := range h.Anomalies {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"racefuzzer/internal/fleetspan"
 )
 
 // Clock abstracts time for the lease table so expiry semantics are testable
@@ -55,6 +57,10 @@ type leaseTable struct {
 	cond  *sync.Cond
 	clock Clock
 	ttl   time.Duration
+	// spans is the campaign flight recorder; nil (the untraced default)
+	// makes every hook below a no-op. The collector has its own lock and
+	// never calls back into the table, so hooks are safe under t.mu.
+	spans *fleetspan.Collector
 
 	epoch   int64
 	units   map[string]*unitState
@@ -66,8 +72,8 @@ type leaseTable struct {
 	dropped  int64
 }
 
-func newLeaseTable(clock Clock, ttl time.Duration) *leaseTable {
-	t := &leaseTable{clock: clock, ttl: ttl, units: make(map[string]*unitState)}
+func newLeaseTable(clock Clock, ttl time.Duration, spans *fleetspan.Collector) *leaseTable {
+	t := &leaseTable{clock: clock, ttl: ttl, spans: spans, units: make(map[string]*unitState)}
 	t.cond = sync.NewCond(&t.mu)
 	return t
 }
@@ -82,6 +88,7 @@ func (t *leaseTable) add(units []WorkUnit) {
 		}
 		t.units[u.ID] = &unitState{unit: u, phase: unitPending}
 		t.queue = append(t.queue, u.ID)
+		t.spans.UnitQueued(u.ID, u.Round, u.TargetIndex, u.Target)
 	}
 	t.cond.Broadcast()
 }
@@ -105,6 +112,7 @@ func (t *leaseTable) lease(worker string) (WorkUnit, int64, bool) {
 	st.epoch = t.epoch
 	st.deadline = t.clock.Now().Add(t.ttl)
 	t.leasedN++
+	t.spans.UnitLeased(id, worker, st.epoch)
 	return st.unit, st.epoch, true
 }
 
@@ -126,7 +134,7 @@ func (t *leaseTable) heartbeat(worker, unitID string, epoch int64) bool {
 // leased under exactly this epoch; a duplicate (unit already done) or a
 // stale epoch (lease expired, possibly re-granted) is dropped, so a retried
 // batch can never double-count. Acceptance is broadcast to round waiters.
-func (t *leaseTable) complete(unitID string, epoch int64, res *UnitResult) (accepted bool, reason string) {
+func (t *leaseTable) complete(worker, unitID string, epoch int64, res *UnitResult) (accepted bool, reason string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.expireLocked(t.clock.Now())
@@ -143,10 +151,12 @@ func (t *leaseTable) complete(unitID string, epoch int64, res *UnitResult) (acce
 		st.result = res
 		t.leasedN--
 		t.doneN++
+		t.spans.UnitResult(unitID, worker, epoch, true, "", res.Spans)
 		t.cond.Broadcast()
 		return true, ""
 	}
 	t.dropped++
+	t.spans.UnitResult(unitID, worker, epoch, false, reason, nil)
 	return false, reason
 }
 
@@ -165,6 +175,7 @@ func (t *leaseTable) expireLocked(now time.Time) {
 		t.queue = append(t.queue, id)
 		t.leasedN--
 		t.requeues++
+		t.spans.UnitRequeued(id)
 		t.cond.Broadcast() // waiters in lease() poll via awaitDone callers
 	}
 }

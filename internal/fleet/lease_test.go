@@ -44,7 +44,7 @@ func mkUnits(ids ...string) []WorkUnit {
 func TestLeaseHeartbeatAndTimeout(t *testing.T) {
 	clock := newFakeClock()
 	const ttl = 10 * time.Second
-	tbl := newLeaseTable(clock, ttl)
+	tbl := newLeaseTable(clock, ttl, nil)
 	tbl.add(mkUnits("r1-t0"))
 
 	u, epoch, ok := tbl.lease("w1")
@@ -103,7 +103,7 @@ func TestResultAcceptance(t *testing.T) {
 			name: "duplicate of a completed unit dropped",
 			setup: func(t *testing.T, tbl *leaseTable, clock *fakeClock) (string, int64) {
 				u, e, _ := tbl.lease("w1")
-				if ok, _ := tbl.complete(u.ID, e, &UnitResult{}); !ok {
+				if ok, _ := tbl.complete("w1", u.ID, e, &UnitResult{}); !ok {
 					t.Fatal("first completion rejected")
 				}
 				return u.ID, e
@@ -142,10 +142,10 @@ func TestResultAcceptance(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			clock := newFakeClock()
-			tbl := newLeaseTable(clock, ttl)
+			tbl := newLeaseTable(clock, ttl, nil)
 			tbl.add(mkUnits("r1-t0"))
 			unitID, epoch := tc.setup(t, tbl, clock)
-			accepted, reason := tbl.complete(unitID, epoch, &UnitResult{Trials: 1})
+			accepted, reason := tbl.complete("w1", unitID, epoch, &UnitResult{Trials: 1})
 			if accepted != tc.accept {
 				t.Fatalf("accepted = %v (%s), want %v", accepted, reason, tc.accept)
 			}
@@ -167,7 +167,7 @@ func TestResultAcceptance(t *testing.T) {
 func TestExpiredThenReexecutedUnitCountsOnce(t *testing.T) {
 	clock := newFakeClock()
 	const ttl = 10 * time.Second
-	tbl := newLeaseTable(clock, ttl)
+	tbl := newLeaseTable(clock, ttl, nil)
 	tbl.add(mkUnits("r1-t0", "r1-t1"))
 
 	u1, e1, _ := tbl.lease("w1") // w1 takes r1-t0 and dies
@@ -176,16 +176,16 @@ func TestExpiredThenReexecutedUnitCountsOnce(t *testing.T) {
 	// w2 drains the still-pending unit first (requeues go to the queue
 	// tail), then inherits r1-t0.
 	ub, eb, _ := tbl.lease("w2")
-	tbl.complete(ub.ID, eb, &UnitResult{})
+	tbl.complete("w2", ub.ID, eb, &UnitResult{})
 	u2, e2, _ := tbl.lease("w2")
 	if u2.ID != u1.ID {
 		t.Fatalf("w2 leased %s, want requeued %s", u2.ID, u1.ID)
 	}
-	if ok, _ := tbl.complete(u2.ID, e2, &UnitResult{Trials: 5}); !ok {
+	if ok, _ := tbl.complete("w2", u2.ID, e2, &UnitResult{Trials: 5}); !ok {
 		t.Fatal("w2's result rejected")
 	}
 	// w1 comes back from the dead with the same (deterministic) batch.
-	if ok, reason := tbl.complete(u1.ID, e1, &UnitResult{Trials: 5}); ok {
+	if ok, reason := tbl.complete("w1", u1.ID, e1, &UnitResult{Trials: 5}); ok {
 		t.Fatal("zombie worker's duplicate result accepted")
 	} else if reason == "" {
 		t.Fatal("drop must carry a reason")
@@ -204,7 +204,7 @@ func TestExpiredThenReexecutedUnitCountsOnce(t *testing.T) {
 // cancellation.
 func TestAwaitDone(t *testing.T) {
 	clock := newFakeClock()
-	tbl := newLeaseTable(clock, time.Minute)
+	tbl := newLeaseTable(clock, time.Minute, nil)
 	tbl.add(mkUnits("a", "b"))
 
 	donec := make(chan error, 1)
@@ -213,13 +213,13 @@ func TestAwaitDone(t *testing.T) {
 	}()
 	ua, ea, _ := tbl.lease("w1")
 	ub, eb, _ := tbl.lease("w1")
-	tbl.complete(ua.ID, ea, &UnitResult{})
+	tbl.complete("w1", ua.ID, ea, &UnitResult{})
 	select {
 	case err := <-donec:
 		t.Fatalf("barrier released with one unit outstanding: %v", err)
 	default:
 	}
-	tbl.complete(ub.ID, eb, &UnitResult{})
+	tbl.complete("w1", ub.ID, eb, &UnitResult{})
 	if err := <-donec; err != nil {
 		t.Fatalf("awaitDone: %v", err)
 	}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/fleetspan"
 	"racefuzzer/internal/obs"
 )
 
@@ -52,6 +53,11 @@ type CampaignInfo struct {
 	// Records asks workers to stream per-execution obs.RunRecords back so
 	// the coordinator's observatory/run-log sees the whole fleet.
 	Records bool `json:"records"`
+	// Trace asks workers to record lease-received→exec→posted sub-spans and
+	// stamp heartbeats with their local clock, feeding the coordinator's
+	// fleetspan collector. Off, the worker's payloads are byte-identical to
+	// an untraced campaign's.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // RegisterRequest announces a worker to the coordinator.
@@ -107,6 +113,10 @@ type HeartbeatRequest struct {
 	Generation string `json:"generation"`
 	UnitID     string `json:"unitID"`
 	Epoch      int64  `json:"epoch"`
+	// SentUnixNs is the worker's local send time (only when CampaignInfo.Trace
+	// asked for it); the coordinator uses the one-way delta to estimate the
+	// worker's clock offset for span stitching.
+	SentUnixNs int64 `json:"sentUnixNs,omitempty"`
 }
 
 // HeartbeatResponse acknowledges or revokes the lease.
@@ -149,6 +159,10 @@ type UnitResult struct {
 	// Witnesses are captured recordings for batch-locally-new signatures
 	// (only when CampaignInfo.Witnesses asked for them).
 	Witnesses []WitnessPayload `json:"witnesses,omitempty"`
+	// Spans are the worker-local sub-span timestamps (only when
+	// CampaignInfo.Trace asked for them), piggybacked here so tracing adds
+	// no RPC.
+	Spans *fleetspan.WorkerSpans `json:"spans,omitempty"`
 }
 
 // ResultRequest submits a completed batch.
@@ -160,10 +174,11 @@ type ResultRequest struct {
 	Result     UnitResult `json:"result"`
 }
 
-// ResultResponse reports whether the batch was accepted. A dropped result is
-// not an error for the worker — the unit was requeued or already completed,
-// and determinism guarantees whoever does complete it produces the same
-// batch.
+// ResultResponse acknowledges an accepted batch. A rejected batch (duplicate,
+// stale epoch, unknown unit) is answered 410 Gone with code "rejected"
+// instead — a permanent drop the worker must not retry; the unit was requeued
+// or already completed, and determinism guarantees whoever does complete it
+// produces the same batch.
 type ResultResponse struct {
 	Accepted bool   `json:"accepted"`
 	Reason   string `json:"reason,omitempty"`
@@ -194,9 +209,13 @@ type Status struct {
 type errorBody struct {
 	Error string `json:"error"`
 	// Code "reregister" tells the worker its registration is stale (the
-	// coordinator restarted); everything else is transient.
+	// coordinator restarted); "rejected" marks a permanently-dropped result.
 	Code string `json:"code,omitempty"`
 }
 
 // codeReregister is the error code that sends a worker back to /register.
 const codeReregister = "reregister"
+
+// codeRejected marks a result the coordinator permanently dropped (410):
+// retrying the identical submission can never succeed.
+const codeRejected = "rejected"

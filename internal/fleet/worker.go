@@ -15,6 +15,7 @@ import (
 
 	"racefuzzer/internal/bench"
 	"racefuzzer/internal/corpus"
+	"racefuzzer/internal/fleetspan"
 	"racefuzzer/internal/harness"
 	"racefuzzer/internal/obs"
 )
@@ -36,7 +37,16 @@ type WorkerOptions struct {
 	// Sleep overrides the backoff/wait sleeper (tests); nil sleeps for real,
 	// waking early when ctx ends.
 	Sleep func(ctx context.Context, d time.Duration)
+	// Metrics, when non-nil, receives worker-side counters — notably
+	// results.permanent_reject, counting result submissions the coordinator
+	// dropped for good (stale epoch, duplicate).
+	Metrics *obs.Registry
 }
+
+// resultMaxAttempts bounds the result POST retry loop for transient
+// (5xx/network) failures; past it the lease simply expires and the unit
+// requeues, which is deterministically equivalent.
+const resultMaxAttempts = 4
 
 // registration is a worker's session with one coordinator generation.
 type registration struct {
@@ -184,6 +194,12 @@ func runLease(ctx context.Context, o WorkerOptions, reg registration, lease Leas
 	if o.Logf != nil {
 		o.Logf("fleet: leased %s (%s, %d trials, seed %d)", unit.ID, unit.Target, unit.Trials, unit.Seed)
 	}
+	// Sub-span recording (lease-received → exec → posted) is on only when the
+	// coordinator asked for tracing; untraced payloads stay byte-identical.
+	var spans *fleetspan.WorkerSpans
+	if reg.info.Trace {
+		spans = &fleetspan.WorkerSpans{LeaseRecvNs: time.Now().UnixNano()}
+	}
 	hbCtx, stopHB := context.WithCancel(ctx)
 	var hb sync.WaitGroup
 	hb.Add(1)
@@ -196,16 +212,25 @@ func runLease(ctx context.Context, o WorkerOptions, reg registration, lease Leas
 			case <-hbCtx.Done():
 				return
 			case <-tick.C:
+				req := HeartbeatRequest{WorkerID: reg.workerID, Generation: reg.generation, UnitID: unit.ID, Epoch: lease.Epoch}
+				if reg.info.Trace {
+					req.SentUnixNs = time.Now().UnixNano()
+				}
 				var resp HeartbeatResponse
-				err := postJSON(hbCtx, o.Client, o.Coordinator+"/fleet/heartbeat",
-					HeartbeatRequest{WorkerID: reg.workerID, Generation: reg.generation, UnitID: unit.ID, Epoch: lease.Epoch}, &resp)
+				err := postJSON(hbCtx, o.Client, o.Coordinator+"/fleet/heartbeat", req, &resp)
 				if err == nil && resp.Lost && o.Logf != nil {
 					o.Logf("fleet: lease on %s lost mid-batch; finishing anyway (result will be dropped)", unit.ID)
 				}
 			}
 		}
 	}()
+	if spans != nil {
+		spans.ExecStartNs = time.Now().UnixNano()
+	}
 	res, execErr := o.Execute(unit, reg.info)
+	if spans != nil {
+		spans.ExecEndNs = time.Now().UnixNano()
+	}
 	stopHB()
 	hb.Wait()
 	if execErr != nil {
@@ -213,24 +238,50 @@ func runLease(ctx context.Context, o WorkerOptions, reg registration, lease Leas
 		// between builds) cannot execute anywhere better; surface it.
 		return fmt.Errorf("fleet: execute %s: %w", unit.ID, execErr)
 	}
-	var resp ResultResponse
-	err := postJSON(ctx, o.Client, o.Coordinator+"/fleet/result",
-		ResultRequest{WorkerID: reg.workerID, Generation: reg.generation, UnitID: unit.ID, Epoch: lease.Epoch, Result: res}, &resp)
-	if err != nil {
+	if spans != nil {
+		spans.PostedNs = time.Now().UnixNano()
+		res.Spans = spans
+	}
+	return postResult(ctx, o, reg, unit, lease.Epoch, res)
+}
+
+// postResult submits a completed batch, distinguishing permanent rejections
+// from transient failures. A 410 (stale epoch, duplicate) can never succeed
+// on retry: count it and move on. A 5xx or network error is retried with
+// backoff a few times; past that the lease expires and the unit requeues.
+func postResult(ctx context.Context, o WorkerOptions, reg registration, unit WorkUnit, epoch int64, res UnitResult) error {
+	backoff := 250 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		var resp ResultResponse
+		err := postJSON(ctx, o.Client, o.Coordinator+"/fleet/result",
+			ResultRequest{WorkerID: reg.workerID, Generation: reg.generation, UnitID: unit.ID, Epoch: epoch, Result: res}, &resp)
+		if err == nil {
+			return nil
+		}
 		if isReregister(err) {
 			return errReregister{msg: err.Error()}
 		}
-		// Lost the submission race or the network; the lease will expire and
-		// the unit will requeue — deterministically equivalent, so move on.
-		if o.Logf != nil {
-			o.Logf("fleet: result for %s not delivered (%v); unit will requeue", unit.ID, err)
+		if isPermanentReject(err) {
+			o.Metrics.Counter("results.permanent_reject").Inc()
+			if o.Logf != nil {
+				o.Logf("fleet: result for %s permanently rejected: %v", unit.ID, err)
+			}
+			return nil
 		}
-		return nil
+		if attempt >= resultMaxAttempts || ctx.Err() != nil {
+			// Transient failures exhausted; the lease will expire and the
+			// unit will requeue — deterministically equivalent, so move on.
+			if o.Logf != nil {
+				o.Logf("fleet: result for %s not delivered after %d attempts (%v); unit will requeue", unit.ID, attempt, err)
+			}
+			return nil
+		}
+		if o.Logf != nil {
+			o.Logf("fleet: result for %s failed (%v), retrying in %s", unit.ID, err, backoff)
+		}
+		o.Sleep(ctx, backoff)
+		backoff *= 2
 	}
-	if !resp.Accepted && o.Logf != nil {
-		o.Logf("fleet: result for %s dropped by coordinator: %s", unit.ID, resp.Reason)
-	}
-	return nil
 }
 
 // ExecuteUnit runs one leased batch in this process: the standard
@@ -316,6 +367,18 @@ func (e *httpError) Error() string {
 func isReregister(err error) bool {
 	he, ok := err.(*httpError)
 	return ok && he.body.Code == codeReregister
+}
+
+// isPermanentReject reports whether err is a result drop that can never
+// succeed on retry: the explicit 410 "rejected" code, or any other 4xx (a
+// malformed submission stays malformed). Reregister conflicts are handled
+// separately — they do have a recovery path.
+func isPermanentReject(err error) bool {
+	he, ok := err.(*httpError)
+	if !ok || he.body.Code == codeReregister {
+		return false
+	}
+	return he.body.Code == codeRejected || (he.status >= 400 && he.status < 500)
 }
 
 // postJSON POSTs a JSON body and decodes the JSON response, mapping non-200

@@ -1,0 +1,196 @@
+package fleetspan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Anomaly kinds surfaced on /fleet/health.
+const (
+	AnomalyStraggler    = "straggler"
+	AnomalyRequeueStorm = "requeue_storm"
+	AnomalyLeaseTrend   = "lease_latency_trend"
+)
+
+// Health-score penalties per anomaly, subtracted from 100 and floored at 0.
+// Requeue storms weigh heaviest — they waste whole batches; a straggler
+// delays one unit; a latency trend is an early warning.
+const (
+	penaltyStraggler = 15
+	penaltyStorm     = 25
+	penaltyTrend     = 10
+)
+
+// Anomaly is one live finding of the health detectors.
+type Anomaly struct {
+	Kind   string `json:"kind"`
+	Unit   string `json:"unit,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Target string `json:"target,omitempty"`
+	// Detail is the human explanation ("exec 12.0s > 4×p95 2.1s").
+	Detail string `json:"detail"`
+}
+
+// WorkerHealth is one worker's row in the flight deck: volume, lease-latency
+// stats, and the recent exec durations the dashboard renders as a sparkline.
+type WorkerHealth struct {
+	Worker string `json:"worker"`
+	Units  int    `json:"units"`
+	// LeaseP50Ms is the median stitched grant→receipt latency.
+	LeaseP50Ms float64 `json:"leaseP50Ms"`
+	// LeaseTrend is recent-half mean over earlier-half mean (1 ≈ steady,
+	// ≥ TrendFactor flags the worker); 0 when too few samples.
+	LeaseTrend float64 `json:"leaseTrend"`
+	// SparklineMs is the worker's recent exec durations, oldest first.
+	SparklineMs []float64 `json:"sparklineMs,omitempty"`
+}
+
+// Health is the /fleet/health snapshot: a 0–100 campaign score, the live
+// anomaly list, and per-worker vitals.
+type Health struct {
+	Schema        int   `json:"schema"`
+	Score         int   `json:"score"`
+	UnitsInFlight int   `json:"unitsInFlight"`
+	UnitsDone     int   `json:"unitsDone"`
+	Requeues      int64 `json:"requeues"`
+	// RecentRequeues counts requeues inside the storm window.
+	RecentRequeues       int            `json:"recentRequeues"`
+	TimeLostToRequeuesMs float64        `json:"timeLostToRequeuesMs"`
+	Anomalies            []Anomaly      `json:"anomalies,omitempty"`
+	Workers              []WorkerHealth `json:"workers,omitempty"`
+}
+
+// Health runs the anomaly detectors against current state and scores the
+// campaign. Detectors are windowed, so anomalies age out and the score
+// recovers on their own — no reset call. Nil collector: a perfect empty
+// report (the endpoint is only mounted when tracing is on, but callers
+// stay nil-safe).
+func (c *Collector) Health() Health {
+	if c == nil {
+		return Health{Schema: SchemaVersion, Score: 100}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.nowRel()
+	h := Health{
+		Schema:               SchemaVersion,
+		UnitsInFlight:        len(c.active),
+		UnitsDone:            c.unitsDone,
+		Requeues:             c.requeueTotal,
+		TimeLostToRequeuesMs: float64(c.lostToRequeueNs) / 1e6,
+	}
+
+	// Straggler: an in-flight lease out longer than Factor × the target's
+	// p95 completed exec time. Robust (quantile, not mean) and per-target,
+	// so one slow benchmark doesn't flag every other target's units.
+	var inflight []string
+	for id := range c.active {
+		inflight = append(inflight, id)
+	}
+	sort.Strings(inflight)
+	for _, id := range inflight {
+		at := c.active[id]
+		samples := c.execByTarget[at.trail.Target]
+		if len(samples) < c.cfg.StragglerMinSamples || at.trail.LeasedNs == 0 {
+			continue
+		}
+		p95 := quantile(samples, 0.95)
+		out := now - at.trail.LeasedNs
+		if float64(out) > c.cfg.StragglerFactor*float64(p95) {
+			h.Anomalies = append(h.Anomalies, Anomaly{
+				Kind: AnomalyStraggler, Unit: id, Worker: at.trail.Worker, Target: at.trail.Target,
+				Detail: fmt.Sprintf("lease out %.1fs > %.0f×p95 %.1fs", float64(out)/1e9, c.cfg.StragglerFactor, float64(p95)/1e9),
+			})
+		}
+	}
+
+	// Requeue storm: too many lease expiries inside the trailing window.
+	windowNs := c.cfg.StormWindow.Nanoseconds()
+	recent, byWorker := 0, map[string]int{}
+	for _, ev := range c.requeues {
+		if now-ev.atNs <= windowNs {
+			recent++
+			byWorker[ev.worker]++
+		}
+	}
+	h.RecentRequeues = recent
+	if recent >= c.cfg.StormThreshold {
+		worst, worstN := "", 0
+		for w, n := range byWorker {
+			if n > worstN || (n == worstN && w < worst) {
+				worst, worstN = w, n
+			}
+		}
+		h.Anomalies = append(h.Anomalies, Anomaly{
+			Kind: AnomalyRequeueStorm, Worker: worst,
+			Detail: fmt.Sprintf("%d requeues in %s (worst offender %s: %d)", recent, c.cfg.StormWindow, worst, worstN),
+		})
+	}
+
+	// Per-worker vitals + lease-latency trend (recent half vs earlier half).
+	var names []string
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := c.workers[name]
+		wh := WorkerHealth{Worker: name, Units: ws.units}
+		if len(ws.leaseLatNs) > 0 {
+			wh.LeaseP50Ms = float64(quantile(ws.leaseLatNs, 0.5)) / 1e6
+		}
+		if len(ws.leaseLatNs) >= c.cfg.TrendMinSamples {
+			half := len(ws.leaseLatNs) / 2
+			earlier, recent := mean(ws.leaseLatNs[:half]), mean(ws.leaseLatNs[half:])
+			if earlier > 0 {
+				wh.LeaseTrend = recent / earlier
+				if wh.LeaseTrend >= c.cfg.TrendFactor {
+					h.Anomalies = append(h.Anomalies, Anomaly{
+						Kind: AnomalyLeaseTrend, Worker: name,
+						Detail: fmt.Sprintf("lease latency trending up %.1f× (%.2fms → %.2fms)", wh.LeaseTrend, earlier/1e6, recent/1e6),
+					})
+				}
+			}
+		}
+		for _, ns := range ws.execRecentNs {
+			wh.SparklineMs = append(wh.SparklineMs, float64(ns)/1e6)
+		}
+		h.Workers = append(h.Workers, wh)
+	}
+
+	score := 100
+	for _, a := range h.Anomalies {
+		switch a.Kind {
+		case AnomalyStraggler:
+			score -= penaltyStraggler
+		case AnomalyRequeueStorm:
+			score -= penaltyStorm
+		case AnomalyLeaseTrend:
+			score -= penaltyTrend
+		}
+	}
+	if score < 0 {
+		score = 0
+	}
+	h.Score = score
+	return h
+}
+
+// quantile is the nearest-rank q-quantile of samples (copied and sorted).
+func quantile(samples []int64, q float64) int64 {
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+func mean(s []int64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range s {
+		sum += v
+	}
+	return float64(sum) / float64(len(s))
+}

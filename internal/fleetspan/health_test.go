@@ -1,0 +1,156 @@
+package fleetspan
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// completeUnit drives one unit start-to-ingest with a fixed exec duration
+// (no worker spans: exec falls back to the leased→end window).
+func completeUnit(c *Collector, clk *fakeClock, unitID string, round, ti int, target, worker string, epoch int64, exec time.Duration) {
+	c.UnitQueued(unitID, round, ti, target)
+	c.UnitLeased(unitID, worker, epoch)
+	clk.advance(exec)
+	c.UnitResult(unitID, worker, epoch, true, "", nil)
+	c.UnitIngested(unitID)
+}
+
+// healthConfig shrinks the detector windows so the scripted scenario stays
+// readable: storms need 3 requeues in 10s, stragglers 2× the target p95.
+func healthConfig() Config {
+	return Config{
+		Token:               "health",
+		StragglerFactor:     2,
+		StragglerMinSamples: 3,
+		StormWindow:         10 * time.Second,
+		StormThreshold:      3,
+		TrendFactor:         2,
+		TrendMinSamples:     4,
+	}
+}
+
+// TestHealthDegradesAndRecovers is the flight-deck acceptance scenario: a
+// healthy fleet, then a killed worker producing a synthetic straggler and a
+// requeue storm (score degrades), then completion and window expiry (score
+// recovers to 100).
+func TestHealthDegradesAndRecovers(t *testing.T) {
+	c, clk := newTestCollector(healthConfig())
+
+	// Healthy baseline: four units on target "ping" at ~10ms each.
+	for i := 0; i < 4; i++ {
+		completeUnit(c, clk, unitID(1, i), 1, i, "ping", "w1", int64(i+1), 10*time.Millisecond)
+		clk.advance(time.Millisecond)
+	}
+	if h := c.Health(); h.Score != 100 || len(h.Anomalies) != 0 {
+		t.Fatalf("healthy fleet scored %d with anomalies %+v", h.Score, h.Anomalies)
+	}
+
+	// w2 takes a lease and goes silent: the lease is out far past 2× the
+	// target's p95 (10ms), so the straggler detector must fire while the
+	// unit is still in flight.
+	c.UnitQueued("r2-t0", 2, 0, "ping")
+	c.UnitLeased("r2-t0", "w2", 100)
+	clk.advance(2 * time.Second)
+	h := c.Health()
+	if h.Score >= 100 {
+		t.Fatalf("straggler did not degrade score: %+v", h)
+	}
+	if n := countKind(h, AnomalyStraggler); n != 1 {
+		t.Fatalf("got %d straggler anomalies, want 1: %+v", n, h.Anomalies)
+	}
+	if h.Anomalies[0].Unit != "r2-t0" || h.Anomalies[0].Worker != "w2" {
+		t.Errorf("straggler attribution: %+v", h.Anomalies[0])
+	}
+	stragglerScore := h.Score
+
+	// The dead worker's lease expires three times in quick succession — a
+	// requeue storm on top of the straggler.
+	for epoch := int64(101); epoch <= 103; epoch++ {
+		c.UnitRequeued("r2-t0")
+		c.UnitLeased("r2-t0", "w2", epoch)
+		clk.advance(100 * time.Millisecond)
+	}
+	h = c.Health()
+	if countKind(h, AnomalyRequeueStorm) != 1 {
+		t.Fatalf("no requeue-storm anomaly: %+v", h.Anomalies)
+	}
+	if h.Score >= stragglerScore {
+		t.Fatalf("storm did not degrade score further: %d vs %d", h.Score, stragglerScore)
+	}
+	if h.RecentRequeues != 3 {
+		t.Errorf("recent requeues %d, want 3", h.RecentRequeues)
+	}
+
+	// Recovery: a live worker finishes the unit and the storm window slides
+	// past the requeues. Everything must return to a perfect score — the
+	// detectors are windowed, not latched.
+	c.UnitRequeued("r2-t0")
+	c.UnitLeased("r2-t0", "w1", 200)
+	clk.advance(10 * time.Millisecond)
+	c.UnitResult("r2-t0", "w1", 200, true, "", nil)
+	c.UnitIngested("r2-t0")
+	clk.advance(c.cfg.StormWindow + time.Second)
+	h = c.Health()
+	if h.Score != 100 || len(h.Anomalies) != 0 {
+		t.Fatalf("fleet did not recover: score %d, anomalies %+v", h.Score, h.Anomalies)
+	}
+	if h.UnitsInFlight != 0 || h.UnitsDone != 5 {
+		t.Errorf("units in flight %d done %d, want 0/5", h.UnitsInFlight, h.UnitsDone)
+	}
+}
+
+// TestHealthLeaseLatencyTrend flags a worker whose grant→receipt latency
+// doubles between the earlier and recent halves of its sample ring.
+func TestHealthLeaseLatencyTrend(t *testing.T) {
+	c, clk := newTestCollector(healthConfig())
+	lat := []time.Duration{
+		time.Millisecond, time.Millisecond, // earlier half: 1ms
+		8 * time.Millisecond, 8 * time.Millisecond, // recent half: 8ms
+	}
+	for i, d := range lat {
+		id := unitID(1, i)
+		c.UnitQueued(id, 1, i, "ping")
+		c.UnitLeased(id, "w3", int64(i+1))
+		leasedUnix := clk.ns
+		// Heartbeat with zero skew teaches an exact offset, so the stitched
+		// lease latency is the worker-reported one, not the POST fallback.
+		c.Heartbeat("w3", id, clk.ns)
+		spans := &WorkerSpans{
+			LeaseRecvNs: leasedUnix + d.Nanoseconds(),
+			ExecStartNs: leasedUnix + d.Nanoseconds() + 1000,
+			ExecEndNs:   leasedUnix + d.Nanoseconds() + 2000,
+			PostedNs:    leasedUnix + d.Nanoseconds() + 3000,
+		}
+		clk.advance(d + 20*time.Millisecond)
+		c.UnitResult(id, "w3", int64(i+1), true, "", spans)
+		c.UnitIngested(id)
+	}
+	h := c.Health()
+	if countKind(h, AnomalyLeaseTrend) != 1 {
+		t.Fatalf("no lease-latency-trend anomaly: %+v", h.Anomalies)
+	}
+	if len(h.Workers) != 1 || h.Workers[0].LeaseTrend < 2 {
+		t.Errorf("worker vitals: %+v", h.Workers)
+	}
+	if h.Workers[0].LeaseP50Ms <= 0 {
+		t.Errorf("lease p50 not recorded: %+v", h.Workers[0])
+	}
+	if len(h.Workers[0].SparklineMs) == 0 {
+		t.Errorf("sparkline empty: %+v", h.Workers[0])
+	}
+}
+
+func countKind(h Health, kind string) int {
+	n := 0
+	for _, a := range h.Anomalies {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func unitID(round, ti int) string {
+	return fmt.Sprintf("r%d-t%d", round, ti)
+}

@@ -1,0 +1,73 @@
+package fleetspan
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// TrailFile is the span trail's file name, written next to findings.jsonl
+// and coverage.jsonl in the corpus directory. It is a side channel: the
+// determinism contract covers findings/coverage/witness bytes, not this.
+const TrailFile = "fleetspans.jsonl"
+
+// WriteTrails writes the trail as JSONL, one UnitTrail per line, in the
+// stable (round, targetIndex, attempt) order Trails returns.
+func WriteTrails(path string, trails []UnitTrail) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for i := range trails {
+		if err := enc.Encode(&trails[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrails reads a fleetspans.jsonl trail, validating every record. The
+// torn final line a crashed coordinator can leave is tolerated (dropped),
+// matching the run-log loader's behavior; any other malformed or
+// schema-violating line is an error.
+func LoadTrails(path string) ([]UnitTrail, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var trails []UnitTrail
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var t UnitTrail
+		if err := json.Unmarshal(line, &t); err != nil {
+			if i == len(lines)-1 {
+				break // torn final line: writer died mid-record
+			}
+			return nil, fmt.Errorf("%s:%d: %w", filepath.Base(path), i+1, err)
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", filepath.Base(path), i+1, err)
+		}
+		trails = append(trails, t)
+	}
+	return trails, nil
+}

@@ -1,0 +1,75 @@
+package fleetspan
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func trailFixture(t *testing.T) []UnitTrail {
+	t.Helper()
+	c, clk := newTestCollector(Config{Token: "fix"})
+	runUnit(c, clk, "r1-t0", 1, 0, "ping", "w1", 1, 0)
+	runUnit(c, clk, "r1-t1", 1, 1, "pong", "w2", 2, int64(2e9))
+	return c.Trails()
+}
+
+func TestTrailRoundTrip(t *testing.T) {
+	trails := trailFixture(t)
+	path := filepath.Join(t.TempDir(), TrailFile)
+	if err := WriteTrails(path, trails); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrails(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, trails) {
+		t.Errorf("round trip drifted:\ngot  %+v\nwant %+v", got, trails)
+	}
+}
+
+func TestLoadTrailsToleratesTornFinalLine(t *testing.T) {
+	trails := trailFixture(t)
+	path := filepath.Join(t.TempDir(), TrailFile)
+	if err := WriteTrails(path, trails); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(data, []byte(`{"schema":1,"spanID":"fix/r9`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrails(path)
+	if err != nil {
+		t.Fatalf("torn final line should be tolerated: %v", err)
+	}
+	if len(got) != len(trails) {
+		t.Errorf("got %d trails, want %d", len(got), len(trails))
+	}
+}
+
+func TestLoadTrailsRejectsSchemaViolations(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":   `{"schema":2,"spanID":"x/r1/u0","unitID":"r1-t0","attempt":1,"round":1,"targetIndex":0,"target":"t","outcome":"ingested","queuedNs":1,"endNs":2}` + "\n{}\n",
+		"bad outcome":    `{"schema":1,"spanID":"x/r1/u0","unitID":"r1-t0","attempt":1,"round":1,"targetIndex":0,"target":"t","outcome":"exploded","queuedNs":1,"endNs":2}` + "\n{}\n",
+		"causal reorder": `{"schema":1,"spanID":"x/r1/u0","unitID":"r1-t0","attempt":1,"round":1,"targetIndex":0,"target":"t","outcome":"ingested","queuedNs":5,"leasedNs":4,"endNs":9}` + "\n{}\n",
+		"missing target": `{"schema":1,"spanID":"x/r1/u0","unitID":"r1-t0","attempt":1,"round":1,"targetIndex":0,"outcome":"ingested","queuedNs":1,"endNs":2}` + "\n{}\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(t.TempDir(), TrailFile)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadTrails(path); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		} else if !strings.Contains(err.Error(), TrailFile) {
+			t.Errorf("%s: error lacks file context: %v", name, err)
+		}
+	}
+}

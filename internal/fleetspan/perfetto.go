@@ -1,0 +1,110 @@
+package fleetspan
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"racefuzzer/internal/traceevent"
+)
+
+// Track layout of the campaign trace: one process, tid 0 is the coordinator
+// lease-table track, and each worker gets its own track in sorted-name order
+// (stable IDs: the same trail always renders the same tids).
+const (
+	tracePid = 1
+	coordTid = 0
+)
+
+// Events renders a span trail as Chrome trace events. Per attempt the
+// coordinator track carries the unit's whole queued→end envelope, and the
+// owning worker's track carries the lease slice with the stitched exec and
+// post sub-spans nested inside. All slices come from the stitched trail, so
+// the causal-order guarantee carries into the export.
+func Events(trails []UnitTrail) []traceevent.Event {
+	workers := map[string]int{}
+	for _, t := range trails {
+		if t.Worker != "" {
+			workers[t.Worker] = 0
+		}
+	}
+	names := make([]string, 0, len(workers))
+	for name := range workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		workers[name] = i + 1
+	}
+
+	evs := make([]traceevent.Event, 0, 4*len(trails)+2*len(names)+4)
+	evs = append(evs, traceevent.Meta("process_name", tracePid, coordTid,
+		map[string]any{"name": "racefuzzer fleet campaign"}))
+	evs = append(evs, traceevent.Meta("thread_name", tracePid, coordTid,
+		map[string]any{"name": "coordinator lease-table"}))
+	evs = append(evs, traceevent.Meta("thread_sort_index", tracePid, coordTid,
+		map[string]any{"sort_index": 0}))
+	for _, name := range names {
+		tid := workers[name]
+		evs = append(evs, traceevent.Meta("thread_name", tracePid, tid,
+			map[string]any{"name": "worker " + name}))
+		evs = append(evs, traceevent.Meta("thread_sort_index", tracePid, tid,
+			map[string]any{"sort_index": tid}))
+	}
+
+	ordered := append([]UnitTrail(nil), trails...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.QueuedNs != b.QueuedNs {
+			return a.QueuedNs < b.QueuedNs
+		}
+		if a.SpanID != b.SpanID {
+			return a.SpanID < b.SpanID
+		}
+		return a.Attempt < b.Attempt
+	})
+	for _, t := range ordered {
+		args := map[string]any{
+			"spanID": t.SpanID, "round": t.Round, "target": t.Target,
+			"attempt": t.Attempt, "outcome": t.Outcome,
+		}
+		if t.DropReason != "" {
+			args["dropReason"] = t.DropReason
+		}
+		name := fmt.Sprintf("%s#%d", t.UnitID, t.Attempt)
+		start := t.QueuedNs
+		if start == 0 {
+			start = t.EndNs // drop records have no queue entry of their own
+		}
+		evs = append(evs, traceevent.Slice(name, t.Outcome,
+			tracePid, coordTid, start, t.EndNs-start, args))
+		tid, ok := workers[t.Worker]
+		if !ok || t.LeasedNs == 0 {
+			continue
+		}
+		evs = append(evs, traceevent.Slice("lease:"+name, "lease",
+			tracePid, tid, t.LeasedNs, t.EndNs-t.LeasedNs,
+			map[string]any{"spanID": t.SpanID, "heartbeats": t.Heartbeats, "clamped": t.Clamped}))
+		if t.Stitched() {
+			evs = append(evs, traceevent.Slice("exec:"+t.Target, "exec",
+				tracePid, tid, t.ExecStartNs, t.ExecEndNs-t.ExecStartNs,
+				map[string]any{"spanID": t.SpanID, "offsetNs": t.OffsetNs}))
+			if t.PostedNs >= t.ExecEndNs && t.ResultNs >= t.PostedNs {
+				evs = append(evs, traceevent.Slice("post", "post",
+					tracePid, tid, t.PostedNs, t.ResultNs-t.PostedNs,
+					map[string]any{"spanID": t.SpanID}))
+			}
+		}
+	}
+	return evs
+}
+
+// WriteTrace writes the trail as Chrome trace-event JSON for Perfetto.
+func WriteTrace(w io.Writer, trails []UnitTrail) error {
+	return traceevent.Write(w, Events(trails))
+}
+
+// SaveTrace writes the Perfetto export to path, creating parent directories.
+func SaveTrace(path string, trails []UnitTrail) error {
+	return traceevent.SaveFile(path, Events(trails))
+}

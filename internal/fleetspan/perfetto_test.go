@@ -1,0 +1,168 @@
+package fleetspan
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrails is a fixed fake-clock campaign — two workers, a requeue, a
+// skewed clock, a dropped duplicate — so the exported trace is byte-stable.
+func goldenTrails(t *testing.T) []UnitTrail {
+	t.Helper()
+	c, clk := newTestCollector(Config{Token: "golden"})
+	runUnit(c, clk, "r1-t0", 1, 0, "ping", "w1", 1, 0)
+	runUnit(c, clk, "r1-t1", 1, 1, "pong", "w2", 2, int64(3e9))
+	// r2-t0: leased to w1, expires, finishes on w2, then w1's late result
+	// is dropped.
+	c.UnitQueued("r2-t0", 2, 0, "ping")
+	clk.advance(time.Millisecond)
+	c.UnitLeased("r2-t0", "w1", 3)
+	clk.advance(30 * time.Millisecond)
+	c.UnitRequeued("r2-t0")
+	clk.advance(time.Millisecond)
+	c.UnitLeased("r2-t0", "w2", 4)
+	clk.advance(12 * time.Millisecond)
+	c.UnitResult("r2-t0", "w2", 4, true, "", nil)
+	clk.advance(time.Millisecond)
+	c.UnitIngested("r2-t0")
+	c.UnitResult("r2-t0", "w1", 3, false, "duplicate result: unit already complete", nil)
+	return c.Trails()
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenTrails(t)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fleettrace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from %s (regenerate with -update)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestPerfettoStructure checks the contract Perfetto relies on and the
+// causal guarantee inside the export: valid trace JSON, one stable track
+// per worker plus the coordinator lease-table track, and per-track slices
+// whose windows never precede their unit's lease.
+func TestPerfettoStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenTrails(t)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	threadNames := map[string]int{}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[ev.Args["name"].(string)] = ev.Tid
+			}
+		case "X":
+			slices++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("slice %q: negative ts/dur (%v/%v)", ev.Name, ev.Ts, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if slices == 0 {
+		t.Fatal("no slices")
+	}
+	// Stable track IDs: coordinator on 0, workers in sorted-name order.
+	want := map[string]int{"coordinator lease-table": 0, "worker w1": 1, "worker w2": 2}
+	for name, tid := range want {
+		if threadNames[name] != tid {
+			t.Errorf("track %q on tid %d, want %d (tracks: %v)", name, threadNames[name], tid, threadNames)
+		}
+	}
+	// Exec slices sit inside their lease slice on the same track.
+	type window struct{ ts, end float64 }
+	leases := map[string]window{} // "tid/unit#attempt"
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && len(ev.Name) > 6 && ev.Name[:6] == "lease:" {
+			leases[ev.Name[6:]] = window{ev.Ts, ev.Ts + ev.Dur}
+		}
+	}
+	if len(leases) == 0 {
+		t.Fatal("no lease slices")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || len(ev.Name) < 5 || ev.Name[:5] != "exec:" {
+			continue
+		}
+		contained := false
+		for _, w := range leases {
+			if ev.Ts >= w.ts && ev.Ts+ev.Dur <= w.end+0.001 {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			t.Errorf("exec slice %q [%v, %v] outside every lease window", ev.Name, ev.Ts, ev.Ts+ev.Dur)
+		}
+	}
+}
+
+// TestPerfettoCausalOrderUnderSkew exports a backwards-clock campaign and
+// asserts no slice escapes its causal window even then.
+func TestPerfettoCausalOrderUnderSkew(t *testing.T) {
+	c, clk := newTestCollector(Config{Token: "skew"})
+	c.UnitQueued("r1-t0", 1, 0, "ping")
+	clk.advance(time.Millisecond)
+	c.UnitLeased("r1-t0", "w1", 1)
+	leasedUnix := clk.ns
+	spans := &WorkerSpans{
+		LeaseRecvNs: leasedUnix - int64(time.Hour), // wildly backwards
+		ExecStartNs: leasedUnix - int64(2*time.Hour),
+		ExecEndNs:   leasedUnix - int64(3*time.Hour),
+		PostedNs:    leasedUnix - int64(4*time.Hour),
+	}
+	clk.advance(8 * time.Millisecond)
+	c.UnitResult("r1-t0", "w1", 1, true, "", spans)
+	c.UnitIngested("r1-t0")
+	tr := c.Trails()[0]
+	for _, ev := range Events(c.Trails()) {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Dur < 0 {
+			t.Errorf("slice %q has negative duration %v", ev.Name, ev.Dur)
+		}
+		if ev.Tid != coordTid && ev.Ts < float64(tr.LeasedNs)*1e-3-0.001 {
+			t.Errorf("slice %q starts %v, before lease %v", ev.Name, ev.Ts, float64(tr.LeasedNs)*1e-3)
+		}
+	}
+}

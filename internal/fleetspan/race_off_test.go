@@ -1,0 +1,5 @@
+//go:build !race
+
+package fleetspan
+
+const raceDetectorEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package fleetspan
+
+// raceDetectorEnabled reports whether the test binary was built with -race,
+// which instruments every call and invalidates ns-level timing assertions.
+const raceDetectorEnabled = true

@@ -257,6 +257,12 @@ func TestObservatoryServesLiveCampaign(t *testing.T) {
 	if !strings.Contains(dash, "/debug/coverage") {
 		t.Error("dashboard does not wire up the coverage panel")
 	}
+	if !strings.Contains(dash, "/fleet/health") {
+		t.Error("dashboard does not wire up the flight-deck panel")
+	}
+	if !strings.Contains(dash, "probeFleet") {
+		t.Error("dashboard does not gate fleet polling behind a probe")
+	}
 	if _, nf := httpGet(t, base+"/nosuch"); nf.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path status = %d", nf.StatusCode)
 	}

@@ -1,11 +1,10 @@
 package schedprof
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
+
+	"racefuzzer/internal/traceevent"
 )
 
 // Timeline is an immutable copy of one trial's span ring, unwrapped into
@@ -47,26 +46,6 @@ func (t *Trial) Timeline() *Timeline {
 	return tl
 }
 
-// traceEvent is one Chrome trace-event object ("X" complete slices and "M"
-// metadata). Timestamps and durations are microseconds, per the format.
-type traceEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	Args map[string]any `json:"args,omitempty"`
-}
-
-// traceFile is the JSON-object form of the Chrome trace-event format, the
-// shape Perfetto and chrome://tracing load directly.
-type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
-}
-
 const (
 	tracePid = 1
 	// schedTid is the synthetic scheduler track; model thread T(i) renders
@@ -74,29 +53,22 @@ const (
 	schedTid = 0
 )
 
-func metaEvent(name string, tid int, args map[string]any) traceEvent {
-	return traceEvent{Name: name, Ph: "M", Pid: tracePid, Tid: tid, Args: args}
-}
+const usPerNs = traceevent.UsPerNs
 
-const usPerNs = 1e-3
-
-// WriteTrace writes the timeline as Chrome trace-event JSON: one track per
-// model thread (a wait slice while parked, then the op's service slice)
-// plus a scheduler track carrying the trial's startup/loop/teardown phases.
-func (tl *Timeline) WriteTrace(w io.Writer) error {
-	if tl == nil {
-		return fmt.Errorf("schedprof: nil timeline")
-	}
-	evs := make([]traceEvent, 0, 2*len(tl.Spans)+2*len(tl.Threads)+8)
-	evs = append(evs, metaEvent("process_name", schedTid,
+// Events renders the timeline as Chrome trace events: one track per model
+// thread (a wait slice while parked, then the op's service slice) plus a
+// scheduler track carrying the trial's startup/loop/teardown phases.
+func (tl *Timeline) Events() []traceevent.Event {
+	evs := make([]traceevent.Event, 0, 2*len(tl.Spans)+2*len(tl.Threads)+8)
+	evs = append(evs, traceevent.Meta("process_name", tracePid, schedTid,
 		map[string]any{"name": fmt.Sprintf("racefuzzer trial %q seed=%d", tl.Name, tl.Seed)}))
-	evs = append(evs, metaEvent("thread_name", schedTid, map[string]any{"name": "scheduler"}))
-	evs = append(evs, metaEvent("thread_sort_index", schedTid, map[string]any{"sort_index": 0}))
+	evs = append(evs, traceevent.Meta("thread_name", tracePid, schedTid, map[string]any{"name": "scheduler"}))
+	evs = append(evs, traceevent.Meta("thread_sort_index", tracePid, schedTid, map[string]any{"sort_index": 0}))
 	for id, name := range tl.Threads {
 		tid := id + 1
-		evs = append(evs, metaEvent("thread_name", tid,
+		evs = append(evs, traceevent.Meta("thread_name", tracePid, tid,
 			map[string]any{"name": fmt.Sprintf("T%d %s", id, name)}))
-		evs = append(evs, metaEvent("thread_sort_index", tid, map[string]any{"sort_index": tid}))
+		evs = append(evs, traceevent.Meta("thread_sort_index", tracePid, tid, map[string]any{"sort_index": tid}))
 	}
 	if tl.Phase[PhaseDone] > 0 {
 		bounds := [][2]int64{
@@ -105,51 +77,38 @@ func (tl *Timeline) WriteTrace(w io.Writer) error {
 			{tl.Phase[PhaseLoopExit], tl.Phase[PhaseDone]},
 		}
 		for p, b := range bounds {
-			evs = append(evs, traceEvent{
-				Name: phaseNames[p], Cat: "phase", Ph: "X",
-				Ts: float64(b[0]) * usPerNs, Dur: float64(b[1]-b[0]) * usPerNs,
-				Pid: tracePid, Tid: schedTid,
-			})
+			evs = append(evs, traceevent.Slice(phaseNames[p], "phase",
+				tracePid, schedTid, b[0], b[1]-b[0], nil))
 		}
 	}
 	for _, sp := range tl.Spans {
 		tid := int(sp.Thread) + 1
 		kind := KindName(int(sp.Kind))
 		if sp.WaitNs > 0 {
-			evs = append(evs, traceEvent{
-				Name: "wait:" + kind, Cat: "wait", Ph: "X",
-				Ts: float64(sp.StartNs-sp.WaitNs) * usPerNs, Dur: float64(sp.WaitNs) * usPerNs,
-				Pid: tracePid, Tid: tid,
-				Args: map[string]any{"step": sp.Step},
-			})
+			evs = append(evs, traceevent.Slice("wait:"+kind, "wait",
+				tracePid, tid, sp.StartNs-sp.WaitNs, sp.WaitNs,
+				map[string]any{"step": sp.Step}))
 		}
-		evs = append(evs, traceEvent{
-			Name: kind, Cat: "op", Ph: "X",
-			Ts: float64(sp.StartNs) * usPerNs, Dur: float64(sp.DurNs) * usPerNs,
-			Pid: tracePid, Tid: tid,
-			Args: map[string]any{"step": sp.Step, "waitNs": sp.WaitNs, "serviceNs": sp.DurNs},
-		})
+		evs = append(evs, traceevent.Slice(kind, "op",
+			tracePid, tid, sp.StartNs, sp.DurNs,
+			map[string]any{"step": sp.Step, "waitNs": sp.WaitNs, "serviceNs": sp.DurNs}))
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+	return evs
+}
+
+// WriteTrace writes the timeline as Chrome trace-event JSON.
+func (tl *Timeline) WriteTrace(w io.Writer) error {
+	if tl == nil {
+		return fmt.Errorf("schedprof: nil timeline")
+	}
+	return traceevent.Write(w, tl.Events())
 }
 
 // SaveFile writes the timeline's trace to path, creating parent
 // directories (so a -perfdir that does not exist yet just works).
 func (tl *Timeline) SaveFile(path string) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
+	if tl == nil {
+		return fmt.Errorf("schedprof: nil timeline")
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tl.WriteTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return traceevent.SaveFile(path, tl.Events())
 }

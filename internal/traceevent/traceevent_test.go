@@ -1,0 +1,59 @@
+package traceevent
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSliceConvertsNsToUs: slices are authored in ns and serialized in the
+// trace format's µs with fractional precision preserved.
+func TestSliceConvertsNsToUs(t *testing.T) {
+	ev := Slice("work", "cat", 1, 2, 1_500, 2_500, nil)
+	if ev.Ph != "X" || ev.Ts != 1.5 || ev.Dur != 2.5 {
+		t.Fatalf("slice = %+v, want X slice at 1.5µs for 2.5µs", ev)
+	}
+	if ev.Pid != 1 || ev.Tid != 2 || ev.Name != "work" || ev.Cat != "cat" {
+		t.Fatalf("slice identity = %+v", ev)
+	}
+}
+
+// TestWriteShape: the emitted JSON is a Chrome trace-event file — traceEvents
+// array, displayTimeUnit ms, metadata events without ts noise.
+func TestWriteShape(t *testing.T) {
+	events := []Event{
+		Meta("process_name", 1, 0, map[string]any{"name": "test"}),
+		Slice("op", "", 1, 0, 0, 1_000, nil),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" || len(f.TraceEvents) != 2 {
+		t.Fatalf("file = %+v", f)
+	}
+	if f.TraceEvents[0].Ph != "M" {
+		t.Fatalf("metadata event ph = %q, want M", f.TraceEvents[0].Ph)
+	}
+	if strings.Contains(buf.String(), `"dur"`) && f.TraceEvents[0].Dur != 0 {
+		t.Error("metadata event serialized a dur")
+	}
+}
+
+// TestSaveFileCreatesParents: SaveFile makes missing parent directories.
+func TestSaveFileCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "trace.json")
+	if err := SaveFile(path, []Event{Slice("op", "", 1, 0, 0, 1, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+}
